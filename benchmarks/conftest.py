@@ -1,0 +1,82 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has one benchmark module.  Each benchmark runs the
+corresponding experiment harness once (pytest-benchmark ``pedantic`` mode with
+a single round — a design-space exploration is far too expensive to repeat),
+prints the reproduced rows/series to stdout, and writes the raw result as JSON
+next to this file (``benchmarks/results/``) so EXPERIMENTS.md can be updated
+from the artifacts.
+
+Select the experiment scale with ``--repro-scale {smoke,small,medium}``
+(default: ``small``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments import MEDIUM, SMALL, SMOKE  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALES = {"smoke": SMOKE, "small": SMALL, "medium": MEDIUM}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="small",
+        choices=sorted(_SCALES),
+        help="experiment scale used by the reproduction benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    """The experiment scale selected on the command line."""
+    return _SCALES[request.config.getoption("--repro-scale")]
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where benchmark artifacts (JSON results) are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def kfusion_runner(scale):
+    """One shared KFusion runner so pipeline simulations are reused across benches."""
+    from repro.experiments.common import make_runner
+
+    return make_runner("kfusion", scale, dataset_seed=7)
+
+
+@pytest.fixture(scope="session")
+def elasticfusion_runner(scale):
+    """One shared ElasticFusion runner."""
+    from repro.experiments.common import make_runner
+
+    return make_runner("elasticfusion", scale, dataset_seed=11)
+
+
+@pytest.fixture(scope="session")
+def shared_results():
+    """Cross-benchmark result store.
+
+    The Fig. 3 benchmark deposits its ODROID result here so the Fig. 5
+    (crowd-sourcing) benchmark can reuse the tuned configuration, and the
+    Fig. 4 benchmark deposits its result for the Table I benchmark — exactly
+    how the paper's experiments build on one another.  Benches fall back to
+    computing their own inputs when run in isolation.
+    """
+    return {}

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""ElasticFusion performance/accuracy trade-off on a desktop GPU (Table I).
+
+Explores the ElasticFusion design space (ICP/RGB weight, depth cut-off,
+confidence threshold plus five boolean flags) on the simulated GTX 780 Ti and
+prints a Table-I-style summary: the default row, the best-speed row and the
+best-accuracy row with their parameter values.
+
+Run with:  python examples/elasticfusion_tradeoff.py
+"""
+
+from repro.core import HyperMapper
+from repro.devices import NVIDIA_GTX_780TI
+from repro.slambench import (
+    SlamBenchRunner,
+    elasticfusion_default_config,
+    elasticfusion_design_space,
+    elasticfusion_objectives,
+)
+from repro.slambench.parameters import table1_flag_columns
+from repro.utils import format_table
+
+
+def main() -> None:
+    runner = SlamBenchRunner(
+        "elasticfusion",
+        n_frames=25,
+        width=56,
+        height=42,
+        dataset_seed=2,
+        elasticfusion_kwargs={"fusion_stride": 2},
+    )
+    evaluate = runner.evaluation_function(NVIDIA_GTX_780TI)
+    space = elasticfusion_design_space()
+    objectives = elasticfusion_objectives()
+
+    default = elasticfusion_default_config()
+    default_metrics = evaluate(default)
+
+    optimizer = HyperMapper(
+        space,
+        objectives,
+        evaluate,
+        n_random_samples=40,
+        max_iterations=2,
+        max_samples_per_iteration=15,
+        pool_size=2000,
+        seed=7,
+    )
+    result = optimizer.run()
+
+    def row(label, config, metrics):
+        flags = table1_flag_columns(dict(config))
+        return [
+            label,
+            f"{metrics['mean_ate_m']:.4f}",
+            f"{metrics['runtime_s'] * 1000:.1f}",
+            f"{config['icp_rgb_weight']:g}",
+            f"{config['depth_cutoff']:g}",
+            f"{config['confidence_threshold']:g}",
+            flags["SO3"],
+            flags["Close-Loops"],
+            flags["Reloc"],
+            flags["Fast-Odom"],
+            flags["FTF RGB"],
+        ]
+
+    rows = [row("Default", default, default_metrics)]
+    best_speed = result.best_by("runtime_s")
+    best_accuracy = result.best_by("mean_ate_m")
+    if best_speed is not None:
+        rows.append(row("Best speed", best_speed.config, best_speed.metrics))
+    if best_accuracy is not None and best_accuracy is not best_speed:
+        rows.append(row("Best accuracy", best_accuracy.config, best_accuracy.metrics))
+
+    print(
+        format_table(
+            rows,
+            headers=["", "Error (m)", "Runtime (ms)", "ICP", "Depth", "Conf", "SO3", "Close-Loops", "Reloc", "Fast-Odom", "FTF RGB"],
+            title="ElasticFusion Pareto points (Table I style)",
+        )
+    )
+    if best_speed is not None:
+        print(
+            f"\nbest speed: {default_metrics['runtime_s'] / best_speed.metrics['runtime_s']:.2f}x faster "
+            f"and {default_metrics['mean_ate_m'] / best_speed.metrics['mean_ate_m']:.2f}x more accurate than the default"
+        )
+    if best_accuracy is not None:
+        print(
+            f"best accuracy: {default_metrics['mean_ate_m'] / best_accuracy.metrics['mean_ate_m']:.2f}x more accurate than the default"
+        )
+
+
+if __name__ == "__main__":
+    main()

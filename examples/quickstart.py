@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: tune KinectFusion's algorithmic parameters for an embedded GPU.
+
+This is the paper's core use case in miniature: HyperMapper explores the
+KFusion design space on a simulated ODROID-XU3, trading per-frame runtime
+against trajectory accuracy, and prints the resulting Pareto front next to the
+expert default configuration.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import HyperMapper
+from repro.devices import ODROID_XU3
+from repro.slambench import (
+    SlamBenchRunner,
+    kfusion_default_config,
+    kfusion_design_space,
+    kfusion_objectives,
+)
+from repro.utils import format_table
+
+
+def main() -> None:
+    # 1. The black box: run the KFusion pipeline over a short synthetic
+    #    sequence and score (max ATE, per-frame runtime on the ODROID-XU3).
+    runner = SlamBenchRunner("kfusion", n_frames=30, width=64, height=48, dataset_seed=1)
+    evaluate = runner.evaluation_function(ODROID_XU3)
+
+    # 2. The design space and objectives straight from the paper.
+    space = kfusion_design_space()
+    objectives = kfusion_objectives()
+    print(f"KFusion design space: {space.dimension} parameters, {space.cardinality:,.0f} configurations")
+
+    # 3. The expert baseline.
+    default = kfusion_default_config()
+    default_metrics = evaluate(default)
+    print(
+        f"default configuration: {default_metrics['runtime_s'] * 1000:.1f} ms/frame "
+        f"({default_metrics['fps']:.1f} FPS), max ATE {default_metrics['max_ate_m'] * 100:.2f} cm"
+    )
+
+    # 4. HyperMapper: random bootstrap + random-forest active learning.
+    optimizer = HyperMapper(
+        space,
+        objectives,
+        evaluate,
+        n_random_samples=60,
+        max_iterations=3,
+        max_samples_per_iteration=25,
+        pool_size=3000,
+        seed=42,
+    )
+    result = optimizer.run()
+
+    # 5. Report the Pareto front.
+    rows = []
+    for record in result.pareto:
+        m = record.metrics
+        rows.append(
+            [
+                f"{m['runtime_s'] * 1000:.1f}",
+                f"{1.0 / m['runtime_s']:.1f}",
+                f"{m['max_ate_m'] * 100:.2f}",
+                record.config["volume_resolution"],
+                record.config["compute_size_ratio"],
+                record.config["tracking_rate"],
+                record.config["integration_rate"],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["ms/frame", "FPS", "max ATE (cm)", "volume", "csr", "track rate", "integ rate"],
+            title=f"Pareto front after {len(result.history)} evaluations "
+            f"({result.history.summary()['per_source']})",
+        )
+    )
+    best = result.best_by("runtime_s")
+    if best is not None:
+        speedup = default_metrics["runtime_s"] / best.metrics["runtime_s"]
+        print(f"\nbest-runtime valid configuration is {speedup:.1f}x faster than the default")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — reproduction of "Algorithmic Performance-Accuracy Trade-off in 3D
+Vision Applications Using HyperMapper" (Nardi et al., iWAPT 2017).
+
+Subpackages
+-----------
+``repro.core``
+    HyperMapper itself: design spaces, random-forest surrogates, Pareto
+    utilities, the active-learning optimizer and baseline search strategies.
+``repro.slam``
+    The dense SLAM substrate: KinectFusion and ElasticFusion pipelines built
+    from scratch (geometry, scenes, ICP, TSDF, surfels, metrics).
+``repro.slambench``
+    The SLAMBench-style harness: design spaces/defaults of both applications,
+    the per-kernel workload model and the configuration runner.
+``repro.devices``
+    Analytical models of the evaluation hardware (ODROID-XU3, ASUS T200TA,
+    GTX 780 Ti) and of the crowd-sourced mobile fleet.
+``repro.crowd``
+    The crowd-sourcing experiment substrate (app runs, results database,
+    speedup/correlation analysis).
+``repro.experiments``
+    One harness per paper figure/table, runnable at several scales.
+
+Quickstart
+----------
+>>> from repro.core import HyperMapper
+>>> from repro.slambench import (SlamBenchRunner, kfusion_design_space,
+...                              kfusion_objectives)
+>>> from repro.devices import ODROID_XU3
+>>> runner = SlamBenchRunner("kfusion", n_frames=20, width=48, height=36)
+>>> hm = HyperMapper(kfusion_design_space(), kfusion_objectives(),
+...                  runner.evaluation_function(ODROID_XU3),
+...                  n_random_samples=20, max_iterations=2, pool_size=500, seed=0)
+>>> result = hm.run()  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,97 @@
+"""HyperMapper core: multi-objective design-space exploration with random forests.
+
+This subpackage re-implements the paper's primary contribution:
+
+* a declarative description of an algorithmic design space
+  (:mod:`repro.core.parameters`, :mod:`repro.core.space`),
+* randomized decision forest regressors built from scratch
+  (:mod:`repro.core.tree`, :mod:`repro.core.forest`),
+* Pareto-front utilities (:mod:`repro.core.pareto`),
+* the active-learning optimizer of Algorithm 1 (:mod:`repro.core.optimizer`),
+* baseline optimizers used for comparison (:mod:`repro.core.baselines`).
+
+The core is application-agnostic: it optimizes any black-box callable that maps
+a configuration dictionary to a vector of objective values.  The SLAM-specific
+design spaces and evaluators live in :mod:`repro.slambench`.
+"""
+
+from repro.core.parameters import (
+    Parameter,
+    OrdinalParameter,
+    IntegerParameter,
+    RealParameter,
+    CategoricalParameter,
+    BooleanParameter,
+)
+from repro.core.space import Configuration, DesignSpace
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.forest import RandomForestRegressor
+from repro.core.tree import DecisionTreeRegressor
+from repro.core.pareto import (
+    pareto_mask,
+    pareto_front,
+    dominates,
+    hypervolume_2d,
+    crowding_distance,
+)
+from repro.core.surrogate import MultiObjectiveSurrogate
+from repro.core.evaluator import (
+    Evaluator,
+    FunctionEvaluator,
+    CachedEvaluator,
+    ParallelEvaluator,
+    EvaluationBudgetExceeded,
+)
+from repro.core.history import EvaluationRecord, History
+from repro.core.sampling import RandomSampler, LatinHypercubeSampler, GridSampler
+from repro.core.constraints import Constraint, BoundConstraint, ConstraintSet
+from repro.core.optimizer import HyperMapper, HyperMapperResult, ActiveLearningReport
+from repro.core.baselines import (
+    RandomSearch,
+    GridSearch,
+    LocalSearch,
+    EvolutionarySearch,
+    BanditSearch,
+)
+
+__all__ = [
+    "Parameter",
+    "OrdinalParameter",
+    "IntegerParameter",
+    "RealParameter",
+    "CategoricalParameter",
+    "BooleanParameter",
+    "Configuration",
+    "DesignSpace",
+    "Objective",
+    "ObjectiveSet",
+    "RandomForestRegressor",
+    "DecisionTreeRegressor",
+    "pareto_mask",
+    "pareto_front",
+    "dominates",
+    "hypervolume_2d",
+    "crowding_distance",
+    "MultiObjectiveSurrogate",
+    "Evaluator",
+    "FunctionEvaluator",
+    "CachedEvaluator",
+    "ParallelEvaluator",
+    "EvaluationBudgetExceeded",
+    "EvaluationRecord",
+    "History",
+    "RandomSampler",
+    "LatinHypercubeSampler",
+    "GridSampler",
+    "Constraint",
+    "BoundConstraint",
+    "ConstraintSet",
+    "HyperMapper",
+    "HyperMapperResult",
+    "ActiveLearningReport",
+    "RandomSearch",
+    "GridSearch",
+    "LocalSearch",
+    "EvolutionarySearch",
+    "BanditSearch",
+]

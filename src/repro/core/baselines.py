@@ -1,0 +1,348 @@
+"""Baseline search strategies HyperMapper is compared against.
+
+The paper compares active learning against
+
+* plain uniform **random sampling** (Figs. 3 and 4, red points),
+* the **expert default configuration** shipped with each application,
+* an expert **brute-force grid search** (how the ElasticFusion authors tuned
+  their defaults).
+
+We additionally provide a hill-climbing **local search**, an NSGA-II style
+**evolutionary search** and an OpenTuner-like **multi-armed bandit** over
+sub-strategies; these are used in the ablation benchmarks to show where a
+surrogate-guided search pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.evaluator import CachedEvaluator, EvaluationFunction, Evaluator, FunctionEvaluator
+from repro.core.history import EvaluationRecord, History
+from repro.core.objectives import ObjectiveSet
+from repro.core.optimizer import HyperMapperResult
+from repro.core.pareto import crowding_distance, non_dominated_sort
+from repro.core.sampling import GridSampler, RandomSampler
+from repro.core.space import Configuration, DesignSpace
+from repro.utils.rng import RandomState, as_generator, derive_seed
+
+
+class _BaseSearch:
+    """Shared plumbing: evaluator wrapping, history bookkeeping, result packing."""
+
+    source = "baseline"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: ObjectiveSet,
+        evaluator: Union[Evaluator, EvaluationFunction],
+        seed: RandomState = None,
+    ) -> None:
+        self.space = space
+        self.objectives = objectives
+        base = evaluator if isinstance(evaluator, Evaluator) else FunctionEvaluator(evaluator, objectives)
+        self.evaluator = CachedEvaluator(base)
+        self.seed = seed
+
+    def _evaluate(self, history: History, configs: Sequence[Configuration], iteration: int = 0) -> List[EvaluationRecord]:
+        metrics = self.evaluator.evaluate(list(configs))
+        return [history.add(c, m, source=self.source, iteration=iteration) for c, m in zip(configs, metrics)]
+
+    def _result(self, history: History) -> HyperMapperResult:
+        return HyperMapperResult(
+            space=self.space,
+            objectives=self.objectives,
+            history=history,
+            pareto=history.pareto_records(feasible_only=True),
+            iterations=[],
+            surrogate=None,
+        )
+
+
+class RandomSearch(_BaseSearch):
+    """Uniform random sampling with a fixed budget (the paper's red baseline)."""
+
+    source = "random"
+
+    def run(self, budget: int) -> HyperMapperResult:
+        """Evaluate ``budget`` distinct uniformly random configurations."""
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        rng = as_generator(derive_seed(self.seed, "random-search"))
+        history = History(self.objectives)
+        configs = RandomSampler(self.space).sample(budget, rng=rng)
+        self._evaluate(history, configs)
+        return self._result(history)
+
+
+class GridSearch(_BaseSearch):
+    """Coarse-grid brute force (the expert hand-tuning stand-in)."""
+
+    source = "grid"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: ObjectiveSet,
+        evaluator: Union[Evaluator, EvaluationFunction],
+        levels: int = 3,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(space, objectives, evaluator, seed)
+        self.levels = levels
+
+    def run(self, budget: Optional[int] = None) -> HyperMapperResult:
+        """Evaluate the coarse grid (optionally randomly capped at ``budget``)."""
+        sampler = GridSampler(self.space, levels=self.levels)
+        grid = sampler.full_grid()
+        if budget is not None and len(grid) > budget:
+            rng = as_generator(derive_seed(self.seed, "grid-search"))
+            idx = rng.choice(len(grid), size=budget, replace=False)
+            grid = [grid[int(i)] for i in idx]
+        history = History(self.objectives)
+        self._evaluate(history, grid)
+        return self._result(history)
+
+
+class LocalSearch(_BaseSearch):
+    """Multi-start hill climbing on a scalarized objective.
+
+    Scalarization uses weighted normalized objectives; each restart climbs by
+    moving to the best one-parameter-away neighbor until no neighbor improves
+    or the budget is exhausted.
+    """
+
+    source = "local"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: ObjectiveSet,
+        evaluator: Union[Evaluator, EvaluationFunction],
+        weights: Optional[Sequence[float]] = None,
+        n_restarts: int = 4,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(space, objectives, evaluator, seed)
+        if weights is None:
+            weights = [1.0] * len(objectives)
+        if len(weights) != len(objectives):
+            raise ValueError("weights must match the number of objectives")
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.n_restarts = int(n_restarts)
+
+    def _scalarize(self, metrics: Mapping[str, float], scale: np.ndarray) -> float:
+        values = np.array([self.objectives[j].canonical(float(metrics[self.objectives[j].name])) for j in range(len(self.objectives))])
+        return float(np.sum(self.weights * values / scale))
+
+    def run(self, budget: int) -> HyperMapperResult:
+        """Hill-climb within an evaluation ``budget`` split across restarts."""
+        if budget < self.n_restarts:
+            raise ValueError("budget must be at least n_restarts")
+        rng = as_generator(derive_seed(self.seed, "local-search"))
+        history = History(self.objectives)
+        # Initial random probe to establish normalization scales.
+        starts = RandomSampler(self.space).sample(self.n_restarts, rng=rng)
+        records = self._evaluate(history, starts)
+        values = history.objective_matrix(canonical=True)
+        scale = np.maximum(np.abs(values).max(axis=0), 1e-12)
+        used = len(starts)
+        for record in records:
+            current = record
+            current_score = self._scalarize(current.metrics, scale)
+            improved = True
+            while improved and used < budget:
+                improved = False
+                neighbors = self.space.neighbors(current.config)
+                rng.shuffle(neighbors)
+                neighbors = neighbors[: max(budget - used, 0)]
+                if not neighbors:
+                    break
+                new_records = self._evaluate(history, neighbors)
+                used += len(neighbors)
+                best = min(new_records, key=lambda r: self._scalarize(r.metrics, scale))
+                best_score = self._scalarize(best.metrics, scale)
+                if best_score < current_score:
+                    current, current_score = best, best_score
+                    improved = True
+        return self._result(history)
+
+
+class EvolutionarySearch(_BaseSearch):
+    """NSGA-II style evolutionary multi-objective search (ablation baseline)."""
+
+    source = "evolutionary"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: ObjectiveSet,
+        evaluator: Union[Evaluator, EvaluationFunction],
+        population_size: int = 24,
+        mutation_rate: float = 0.25,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(space, objectives, evaluator, seed)
+        if population_size < 4:
+            raise ValueError("population_size must be >= 4")
+        self.population_size = int(population_size)
+        self.mutation_rate = float(mutation_rate)
+
+    def _crossover(self, a: Configuration, b: Configuration, rng: np.random.Generator) -> Configuration:
+        values = {}
+        for name in self.space.parameter_names:
+            values[name] = a[name] if rng.random() < 0.5 else b[name]
+        return self.space.configuration(values)
+
+    def _mutate(self, c: Configuration, rng: np.random.Generator) -> Configuration:
+        values = c.to_dict()
+        for p in self.space.parameters:
+            if rng.random() < self.mutation_rate:
+                values[p.name] = p.sample(rng)
+        return self.space.configuration(values)
+
+    def run(self, budget: int) -> HyperMapperResult:
+        """Evolve a population until the evaluation ``budget`` is used."""
+        if budget < self.population_size:
+            raise ValueError("budget must be at least population_size")
+        rng = as_generator(derive_seed(self.seed, "evolutionary-search"))
+        history = History(self.objectives)
+        population = RandomSampler(self.space).sample(self.population_size, rng=rng)
+        records = self._evaluate(history, population, iteration=0)
+        used = len(records)
+        generation = 0
+        while used < budget:
+            generation += 1
+            values = np.array([r.objective_values(self.objectives) for r in records])
+            canonical = self.objectives.to_canonical(values)
+            ranks = non_dominated_sort(canonical)
+            crowd = crowding_distance(canonical)
+            # Binary tournament selection on (rank, -crowding).
+            def tournament() -> EvaluationRecord:
+                i, j = rng.integers(len(records)), rng.integers(len(records))
+                key_i = (ranks[i], -crowd[i])
+                key_j = (ranks[j], -crowd[j])
+                return records[i] if key_i <= key_j else records[j]
+
+            n_children = min(self.population_size, budget - used)
+            children: List[Configuration] = []
+            seen = history.configuration_set()
+            attempts = 0
+            while len(children) < n_children and attempts < 20 * n_children:
+                attempts += 1
+                child = self._mutate(self._crossover(tournament().config, tournament().config, rng), rng)
+                if child in seen:
+                    continue
+                seen.add(child)
+                children.append(child)
+            if not children:
+                break
+            child_records = self._evaluate(history, children, iteration=generation)
+            used += len(child_records)
+            # Environmental selection: keep the best population_size individuals.
+            combined = records + child_records
+            values = np.array([r.objective_values(self.objectives) for r in combined])
+            canonical = self.objectives.to_canonical(values)
+            ranks = non_dominated_sort(canonical)
+            crowd = crowding_distance(canonical)
+            order = sorted(range(len(combined)), key=lambda k: (ranks[k], -crowd[k]))
+            records = [combined[k] for k in order[: self.population_size]]
+        return self._result(history)
+
+
+class BanditSearch(_BaseSearch):
+    """OpenTuner-style multi-armed bandit over sub-strategies.
+
+    Arms are simple generators (uniform random, mutation of a random Pareto
+    point, mutation of the best-runtime point).  Arm selection follows the
+    UCB1-style area-under-curve credit assignment used by OpenTuner, rewarding
+    arms whose suggestions land on the current Pareto front.
+    """
+
+    source = "bandit"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: ObjectiveSet,
+        evaluator: Union[Evaluator, EvaluationFunction],
+        exploration: float = 1.4,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(space, objectives, evaluator, seed)
+        self.exploration = float(exploration)
+
+    def run(self, budget: int, batch_size: int = 8) -> HyperMapperResult:
+        """Run the bandit until ``budget`` evaluations are used."""
+        if budget < batch_size:
+            raise ValueError("budget must be at least batch_size")
+        rng = as_generator(derive_seed(self.seed, "bandit-search"))
+        history = History(self.objectives)
+        arm_names = ["uniform", "mutate_pareto", "mutate_best"]
+        plays = {a: 0 for a in arm_names}
+        rewards = {a: 0.0 for a in arm_names}
+        # Seed with one uniform batch.
+        initial = RandomSampler(self.space).sample(batch_size, rng=rng)
+        self._evaluate(history, initial, iteration=0)
+        plays["uniform"] += 1
+        rewards["uniform"] += 1.0
+        used = len(initial)
+        iteration = 0
+        while used < budget:
+            iteration += 1
+            total_plays = sum(plays.values())
+            def ucb(arm: str) -> float:
+                if plays[arm] == 0:
+                    return float("inf")
+                mean = rewards[arm] / plays[arm]
+                return mean + self.exploration * np.sqrt(np.log(max(total_plays, 1)) / plays[arm])
+
+            arm = max(arm_names, key=ucb)
+            n = min(batch_size, budget - used)
+            configs = self._generate(arm, n, history, rng)
+            if not configs:
+                arm = "uniform"
+                configs = RandomSampler(self.space).sample(n, rng=rng)
+            before_front = {r.config for r in history.pareto_records()}
+            new_records = self._evaluate(history, configs, iteration=iteration)
+            used += len(new_records)
+            after_front = {r.config for r in history.pareto_records()}
+            gained = len([r for r in new_records if r.config in after_front and r.config not in before_front])
+            plays[arm] += 1
+            rewards[arm] += gained / max(len(new_records), 1)
+        return self._result(history)
+
+    def _generate(
+        self, arm: str, n: int, history: History, rng: np.random.Generator
+    ) -> List[Configuration]:
+        if arm == "uniform" or len(history) == 0:
+            return RandomSampler(self.space).sample(n, rng=rng)
+        pareto = history.pareto_records()
+        seen = history.configuration_set()
+        out: List[Configuration] = []
+        attempts = 0
+        while len(out) < n and attempts < 20 * n:
+            attempts += 1
+            if arm == "mutate_pareto" and pareto:
+                base = pareto[int(rng.integers(len(pareto)))].config
+            elif arm == "mutate_best" and pareto:
+                runtime_obj = self.objectives.names[-1]
+                base = min(pareto, key=lambda r: r.metrics[runtime_obj]).config
+            else:
+                base = history.records[int(rng.integers(len(history)))].config
+            values = base.to_dict()
+            p = self.space.parameters[int(rng.integers(self.space.dimension))]
+            values[p.name] = p.sample(rng)
+            candidate = self.space.configuration(values)
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            out.append(candidate)
+        return out
+
+
+__all__ = ["RandomSearch", "GridSearch", "LocalSearch", "EvolutionarySearch", "BanditSearch"]

@@ -1,0 +1,189 @@
+"""Bootstrap-aggregated randomized decision forest regressor.
+
+The paper bootstraps "two separate randomized decision forests" — one
+predicting absolute trajectory error and one predicting per-frame runtime —
+from a small number of randomly drawn configurations, then refines them with
+active learning.  This module provides the forest; the per-objective pairing
+lives in :mod:`repro.core.surrogate`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.tree import DecisionTreeRegressor, MaxFeatures
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+
+
+class RandomForestRegressor:
+    """Random forest for regression (bagging + per-split feature subsampling).
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf, max_features,
+    min_impurity_decrease:
+        Passed to each :class:`~repro.core.tree.DecisionTreeRegressor`.
+    bootstrap:
+        Whether each tree trains on a bootstrap resample of the data.
+    random_state:
+        Seed for bootstrap draws and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 32,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: MaxFeatures = 0.75,
+        min_impurity_decrease: float = 0.0,
+        bootstrap: bool = True,
+        random_state: RandomState = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.bootstrap = bool(bootstrap)
+        self.random_state = random_state
+        self._trees: List[DecisionTreeRegressor] = []
+        self._oob_indices: List[np.ndarray] = []
+        self._X_train: Optional[np.ndarray] = None
+        self._y_train: Optional[np.ndarray] = None
+        self._n_features: Optional[int] = None
+
+    # -- fitting ---------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit the forest on features ``X`` and targets ``y``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a forest on an empty dataset")
+        n = X.shape[0]
+        self._n_features = X.shape[1]
+        self._X_train = X
+        self._y_train = y
+        rngs = spawn_generators(self.random_state, self.n_estimators)
+        self._trees = []
+        self._oob_indices = []
+        all_idx = np.arange(n)
+        for t, rng in enumerate(rngs):
+            if self.bootstrap and n > 1:
+                sample_idx = rng.integers(0, n, size=n)
+                oob = np.setdiff1d(all_idx, np.unique(sample_idx), assume_unique=False)
+            else:
+                sample_idx = all_idx
+                oob = np.empty(0, dtype=np.int64)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                min_impurity_decrease=self.min_impurity_decrease,
+                random_state=rng,
+            )
+            tree.fit(X[sample_idx], y[sample_idx])
+            self._trees.append(tree)
+            self._oob_indices.append(oob)
+        return self
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Mean prediction over all trees."""
+        return self.predict_with_std(X)[0]
+
+    def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean and across-tree standard deviation of the prediction.
+
+        The dispersion across trees is a cheap epistemic-uncertainty proxy used
+        by the uncertainty-weighted active-learning variant (an extension over
+        the paper's plain Pareto-proximity sampling).
+        """
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        preds = np.empty((len(self._trees), X.shape[0]), dtype=np.float64)
+        for i, tree in enumerate(self._trees):
+            preds[i] = tree.predict(X)
+        return preds.mean(axis=0), preds.std(axis=0)
+
+    def predict_all_trees(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions as an ``(n_estimators, n_samples)`` matrix."""
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.stack([tree.predict(X) for tree in self._trees], axis=0)
+
+    # -- quality metrics ---------------------------------------------------------
+    def oob_error(self) -> float:
+        """Out-of-bag mean squared error (``nan`` when bootstrap is disabled)."""
+        self._require_fitted()
+        if not self.bootstrap or self._X_train is None or self._y_train is None:
+            return float("nan")
+        n = self._X_train.shape[0]
+        sums = np.zeros(n, dtype=np.float64)
+        counts = np.zeros(n, dtype=np.int64)
+        for tree, oob in zip(self._trees, self._oob_indices):
+            if oob.size == 0:
+                continue
+            sums[oob] += tree.predict(self._X_train[oob])
+            counts[oob] += 1
+        covered = counts > 0
+        if not np.any(covered):
+            return float("nan")
+        preds = sums[covered] / counts[covered]
+        return float(np.mean((preds - self._y_train[covered]) ** 2))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2 on ``(X, y)``."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        pred = self.predict(X)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+    def feature_importances(self) -> np.ndarray:
+        """Mean impurity-decrease importances across trees."""
+        self._require_fitted()
+        importances = np.mean([t.feature_importances() for t in self._trees], axis=0)
+        s = importances.sum()
+        if s > 0:
+            importances = importances / s
+        return importances
+
+    @property
+    def trees(self) -> List[DecisionTreeRegressor]:
+        """Fitted trees (read-only view)."""
+        self._require_fitted()
+        return list(self._trees)
+
+    @property
+    def n_features(self) -> int:
+        """Number of input features seen during :meth:`fit`."""
+        self._require_fitted()
+        assert self._n_features is not None
+        return self._n_features
+
+    # -- internals -----------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self._trees:
+            raise RuntimeError("this RandomForestRegressor is not fitted yet")
+
+
+__all__ = ["RandomForestRegressor"]

@@ -1,0 +1,193 @@
+"""Evaluation history: every configuration run, its metrics, and its provenance.
+
+The history is the single source of truth from which Pareto fronts, validity
+counts (the paper's "configurations with a max ATE smaller than 5 cm"), and
+speedup tables are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.objectives import ObjectiveSet
+from repro.core.pareto import pareto_front, pareto_mask
+from repro.core.space import Configuration
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """A single evaluated configuration.
+
+    Attributes
+    ----------
+    config:
+        The evaluated configuration.
+    metrics:
+        All metric values returned by the evaluator (objectives + extras).
+    source:
+        Provenance label: ``"random"``, ``"active_learning"``, ``"default"``,
+        ``"grid"``, ...
+    iteration:
+        Active-learning iteration index (0 for the bootstrap random phase).
+    """
+
+    config: Configuration
+    metrics: Dict[str, float]
+    source: str = "random"
+    iteration: int = 0
+
+    def objective_values(self, objectives: ObjectiveSet) -> Tuple[float, ...]:
+        """Objective values in declaration order (natural units)."""
+        return tuple(float(self.metrics[o.name]) for o in objectives)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict representation (for JSON serialization)."""
+        return {
+            "config": self.config.to_dict(),
+            "metrics": dict(self.metrics),
+            "source": self.source,
+            "iteration": self.iteration,
+        }
+
+
+class History:
+    """Ordered collection of :class:`EvaluationRecord` with analysis helpers."""
+
+    def __init__(self, objectives: ObjectiveSet, records: Optional[Iterable[EvaluationRecord]] = None) -> None:
+        self.objectives = objectives
+        self._records: List[EvaluationRecord] = list(records) if records is not None else []
+
+    # -- mutation ------------------------------------------------------------
+    def add(
+        self,
+        config: Configuration,
+        metrics: Mapping[str, float],
+        source: str = "random",
+        iteration: int = 0,
+    ) -> EvaluationRecord:
+        """Append a record and return it."""
+        record = EvaluationRecord(config=config, metrics={str(k): float(v) for k, v in metrics.items()}, source=source, iteration=iteration)
+        self._records.append(record)
+        return record
+
+    def extend(self, records: Iterable[EvaluationRecord]) -> None:
+        """Append existing records."""
+        self._records.extend(records)
+
+    # -- access ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EvaluationRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> EvaluationRecord:
+        return self._records[idx]
+
+    @property
+    def records(self) -> List[EvaluationRecord]:
+        """All records in insertion order."""
+        return list(self._records)
+
+    @property
+    def configurations(self) -> List[Configuration]:
+        """Evaluated configurations in insertion order."""
+        return [r.config for r in self._records]
+
+    def configuration_set(self) -> set:
+        """Set of distinct evaluated configurations."""
+        return {r.config for r in self._records}
+
+    def filter(self, source: Optional[str] = None, max_iteration: Optional[int] = None) -> "History":
+        """A new history restricted to the given provenance / iteration range."""
+        records = [
+            r
+            for r in self._records
+            if (source is None or r.source == source)
+            and (max_iteration is None or r.iteration <= max_iteration)
+        ]
+        return History(self.objectives, records)
+
+    # -- matrices & fronts ------------------------------------------------------
+    def objective_matrix(self, canonical: bool = False) -> np.ndarray:
+        """``(n, m)`` matrix of objective values (optionally minimization-form)."""
+        if not self._records:
+            return np.empty((0, len(self.objectives)))
+        values = np.array([r.objective_values(self.objectives) for r in self._records], dtype=np.float64)
+        return self.objectives.to_canonical(values) if canonical else values
+
+    def metric_array(self, name: str) -> np.ndarray:
+        """Values of metric ``name`` across all records."""
+        return np.array([float(r.metrics[name]) for r in self._records], dtype=np.float64)
+
+    def feasible_mask(self) -> np.ndarray:
+        """Mask of records satisfying every objective limit (e.g. ATE < 5 cm)."""
+        return self.objectives.feasibility_mask(self.objective_matrix())
+
+    def n_feasible(self) -> int:
+        """Number of feasible ("valid") records."""
+        return int(self.feasible_mask().sum())
+
+    def pareto_records(self, feasible_only: bool = True) -> List[EvaluationRecord]:
+        """Records lying on the Pareto front of the history."""
+        if not self._records:
+            return []
+        values = self.objective_matrix(canonical=True)
+        candidates = np.arange(len(self._records))
+        if feasible_only:
+            feas = self.feasible_mask()
+            if np.any(feas):
+                candidates = np.flatnonzero(feas)
+                values = values[candidates]
+            # If nothing is feasible fall back to the unconstrained front.
+        mask = pareto_mask(values)
+        idx = candidates[np.flatnonzero(mask)]
+        records = [self._records[i] for i in idx]
+        # Sort by the first objective for stable reporting.
+        records.sort(key=lambda r: r.objective_values(self.objectives))
+        return records
+
+    def pareto_matrix(self, feasible_only: bool = True) -> np.ndarray:
+        """Objective matrix (natural units) of the Pareto-front records."""
+        records = self.pareto_records(feasible_only=feasible_only)
+        if not records:
+            return np.empty((0, len(self.objectives)))
+        return np.array([r.objective_values(self.objectives) for r in records], dtype=np.float64)
+
+    def best_by(self, objective_name: str, feasible_only: bool = True) -> Optional[EvaluationRecord]:
+        """The record optimizing a single objective (respecting feasibility)."""
+        if not self._records:
+            return None
+        obj = self.objectives[objective_name]
+        records = self._records
+        if feasible_only:
+            mask = self.feasible_mask()
+            feas_records = [r for r, ok in zip(self._records, mask) if ok]
+            if feas_records:
+                records = feas_records
+        key = lambda r: obj.canonical(float(r.metrics[objective_name]))
+        return min(records, key=key)
+
+    # -- serialization -----------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of record dictionaries."""
+        return [r.to_dict() for r in self._records]
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact summary used by experiment reports."""
+        pareto = self.pareto_records()
+        per_source: Dict[str, int] = {}
+        for r in self._records:
+            per_source[r.source] = per_source.get(r.source, 0) + 1
+        return {
+            "n_evaluations": len(self._records),
+            "n_feasible": self.n_feasible(),
+            "n_pareto": len(pareto),
+            "per_source": per_source,
+        }
+
+
+__all__ = ["EvaluationRecord", "History"]

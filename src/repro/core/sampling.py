@@ -1,0 +1,160 @@
+"""Samplers producing the configuration pools and bootstrap designs.
+
+The paper bootstraps HyperMapper from "a small number of randomly drawn
+samples in the parameter space" and, because exhaustive evaluation is
+impossible, also works with a finite configuration *pool* drawn from the full
+space over which the surrogate predicts.  Besides plain uniform random
+sampling we also provide Latin-hypercube sampling (a space-filling design used
+as an ablation) and grid sampling (the "expert brute-force grid search"
+baseline used by the ElasticFusion developers).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.space import Configuration, DesignSpace
+from repro.utils.rng import RandomState, as_generator
+
+
+class Sampler(ABC):
+    """Base class for configuration samplers."""
+
+    def __init__(self, space: DesignSpace) -> None:
+        self.space = space
+
+    @abstractmethod
+    def sample(self, n: int, rng: RandomState = None) -> List[Configuration]:
+        """Draw ``n`` configurations."""
+
+
+class RandomSampler(Sampler):
+    """Uniform random sampling of distinct configurations (paper default)."""
+
+    def __init__(self, space: DesignSpace, distinct: bool = True) -> None:
+        super().__init__(space)
+        self.distinct = distinct
+
+    def sample(self, n: int, rng: RandomState = None) -> List[Configuration]:
+        return self.space.sample(n, rng=rng, distinct=self.distinct)
+
+
+class LatinHypercubeSampler(Sampler):
+    """Latin-hypercube style stratified sampling over the parameter domains.
+
+    Each parameter's value list (or continuous range) is divided into ``n``
+    strata; one value is drawn per stratum and the strata are randomly paired
+    across parameters.  For discrete parameters with fewer values than strata
+    the values simply repeat as evenly as possible.
+    """
+
+    def sample(self, n: int, rng: RandomState = None) -> List[Configuration]:
+        if n <= 0:
+            return []
+        gen = as_generator(rng)
+        columns: List[List[object]] = []
+        for p in self.space.parameters:
+            if p.is_discrete:
+                values = p.values()
+                reps = int(np.ceil(n / len(values)))
+                col = (values * reps)[:n]
+            else:
+                # Stratified uniform draws over [lower, upper].
+                lows = np.linspace(0.0, 1.0, n, endpoint=False)
+                u = lows + gen.uniform(0.0, 1.0 / n, size=n)
+                col = [p.from_numeric(p.lower + x * (p.upper - p.lower)) for x in u]  # type: ignore[attr-defined]
+            order = gen.permutation(n)
+            columns.append([col[i] for i in order])
+        names = self.space.parameter_names
+        configs = [Configuration(names, [columns[j][i] for j in range(len(columns))]) for i in range(n)]
+        return configs
+
+
+class GridSampler(Sampler):
+    """Coarse grid sampling (the human-expert brute-force baseline).
+
+    ``levels`` limits how many values per parameter are considered: experts
+    hand-tuning ElasticFusion "used a brute force grid search to tune the
+    parameters", which is only tractable on a coarse grid.  The grid takes
+    evenly spaced values from each parameter's value list.
+    """
+
+    def __init__(self, space: DesignSpace, levels: int = 3) -> None:
+        super().__init__(space)
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self.levels = int(levels)
+
+    def grid_values(self) -> List[List[object]]:
+        """Per-parameter value subsets making up the grid."""
+        out: List[List[object]] = []
+        for p in self.space.parameters:
+            values = p.values()
+            if len(values) <= self.levels:
+                out.append(list(values))
+            else:
+                idx = np.linspace(0, len(values) - 1, self.levels).round().astype(int)
+                out.append([values[i] for i in sorted(set(idx.tolist()))])
+        return out
+
+    def full_grid(self, limit: Optional[int] = None) -> List[Configuration]:
+        """Enumerate the full coarse grid (optionally capped at ``limit``)."""
+        import itertools
+
+        names = self.space.parameter_names
+        configs: List[Configuration] = []
+        for combo in itertools.product(*self.grid_values()):
+            configs.append(Configuration(names, list(combo)))
+            if limit is not None and len(configs) >= limit:
+                break
+        return configs
+
+    def sample(self, n: int, rng: RandomState = None) -> List[Configuration]:
+        grid = self.full_grid()
+        if n >= len(grid):
+            return grid
+        gen = as_generator(rng)
+        idx = gen.choice(len(grid), size=n, replace=False)
+        return [grid[int(i)] for i in idx]
+
+
+def build_pool(
+    space: DesignSpace,
+    pool_size: Optional[int],
+    rng: RandomState = None,
+    include: Sequence[Configuration] = (),
+) -> List[Configuration]:
+    """Build the prediction pool the surrogate sweeps over.
+
+    If the space is small enough (or ``pool_size`` is ``None`` and the space is
+    enumerable within a safe bound) the pool is the full space, matching the
+    paper's "predict the performance over the entire parameter space".
+    Otherwise a uniform random pool of ``pool_size`` distinct configurations is
+    drawn, and ``include`` configurations (e.g. the default) are guaranteed to
+    be present.
+    """
+    full_enumeration_cap = 200_000
+    if space.is_enumerable and (pool_size is None or space.cardinality <= pool_size) and space.cardinality <= full_enumeration_cap:
+        pool = space.enumerate()
+    else:
+        if pool_size is None:
+            pool_size = 20_000
+        pool = space.sample(pool_size, rng=rng, distinct=True)
+    existing = set(pool)
+    for c in include:
+        if c not in existing:
+            pool.append(c)
+            existing.add(c)
+    return pool
+
+
+__all__ = [
+    "Sampler",
+    "RandomSampler",
+    "LatinHypercubeSampler",
+    "GridSampler",
+    "build_pool",
+]

@@ -1,0 +1,360 @@
+"""Design space: an ordered collection of parameters plus encode/decode helpers.
+
+A *configuration* is an assignment of one value to every parameter of the
+space.  Configurations are represented as :class:`Configuration`, a thin
+immutable mapping that hashes by its value tuple so sets/dicts of
+configurations (needed by Algorithm 1's ``P - X_out`` set difference) work out
+of the box.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parameters import Parameter, parameter_from_dict
+from repro.utils.rng import RandomState, as_generator
+
+
+class Configuration(Mapping[str, Any]):
+    """Immutable mapping from parameter name to value.
+
+    Hashable (by the ordered tuple of its values) so it can be stored in sets,
+    which is how the optimizer computes the set difference between the
+    predicted Pareto front and the already-evaluated samples.
+    """
+
+    __slots__ = ("_names", "_values", "_hash")
+
+    def __init__(self, names: Sequence[str], values: Sequence[Any]) -> None:
+        if len(names) != len(values):
+            raise ValueError("names and values must have the same length")
+        self._names: Tuple[str, ...] = tuple(names)
+        self._values: Tuple[Any, ...] = tuple(values)
+        self._hash = hash((self._names, self._values))
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any], order: Optional[Sequence[str]] = None) -> "Configuration":
+        """Build a configuration from a mapping, optionally reordering keys."""
+        names = list(order) if order is not None else list(d.keys())
+        missing = [n for n in names if n not in d]
+        if missing:
+            raise KeyError(f"missing parameter values: {missing}")
+        return cls(names, [d[n] for n in names])
+
+    # Mapping protocol -------------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._values[self._names.index(key)]
+        except ValueError as exc:
+            raise KeyError(key) from exc
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    # Identity ----------------------------------------------------------------
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Configuration):
+            return self._names == other._names and self._values == other._values
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        inner = ", ".join(f"{n}={v!r}" for n, v in zip(self._names, self._values))
+        return f"Configuration({inner})"
+
+    # Convenience ---------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Parameter names in space order."""
+        return self._names
+
+    @property
+    def values_tuple(self) -> Tuple[Any, ...]:
+        """Parameter values in space order."""
+        return self._values
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain dict copy."""
+        return dict(zip(self._names, self._values))
+
+    def replace(self, **updates: Any) -> "Configuration":
+        """Return a copy with some values replaced."""
+        d = self.to_dict()
+        unknown = [k for k in updates if k not in d]
+        if unknown:
+            raise KeyError(f"unknown parameters: {unknown}")
+        d.update(updates)
+        return Configuration(self._names, [d[n] for n in self._names])
+
+
+class DesignSpace:
+    """An ordered collection of :class:`Parameter` objects.
+
+    Responsibilities:
+
+    * enumerate / sample configurations,
+    * validate configurations,
+    * encode configurations into the numeric feature matrix used by the
+      random-forest surrogate (ordinal parameters keep their value, categorical
+      parameters are one-hot encoded),
+    * report the total cardinality of the space (the paper reports roughly
+      1.8 M configurations for KFusion and 450 K for ElasticFusion).
+    """
+
+    def __init__(self, parameters: Sequence[Parameter], name: str = "space") -> None:
+        if len(parameters) == 0:
+            raise ValueError("a design space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names in design space: {names}")
+        self.name = name
+        self._parameters: List[Parameter] = list(parameters)
+        self._by_name: Dict[str, Parameter] = {p.name: p for p in parameters}
+        self._feature_names: List[str] = []
+        self._feature_slices: Dict[str, slice] = {}
+        offset = 0
+        for p in self._parameters:
+            if p.is_categorical:
+                k = int(p.cardinality)
+                self._feature_slices[p.name] = slice(offset, offset + k)
+                self._feature_names.extend(f"{p.name}=={v!r}" for v in p.values())
+                offset += k
+            else:
+                self._feature_slices[p.name] = slice(offset, offset + 1)
+                self._feature_names.append(p.name)
+                offset += 1
+        self._n_features = offset
+
+    # -- basic introspection -------------------------------------------------
+    @classmethod
+    def from_specs(cls, specs: Iterable[dict], name: str = "space") -> "DesignSpace":
+        """Build a space from plain-dict parameter specifications."""
+        return cls([parameter_from_dict(s) for s in specs], name=name)
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        """Parameters in declaration order."""
+        return list(self._parameters)
+
+    @property
+    def parameter_names(self) -> List[str]:
+        """Names in declaration order."""
+        return [p.name for p in self._parameters]
+
+    @property
+    def dimension(self) -> int:
+        """Number of parameters."""
+        return len(self._parameters)
+
+    @property
+    def n_features(self) -> int:
+        """Number of numeric features produced by :meth:`encode`."""
+        return self._n_features
+
+    @property
+    def feature_names(self) -> List[str]:
+        """Names of the encoded feature columns."""
+        return list(self._feature_names)
+
+    def __getitem__(self, name: str) -> Parameter:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    @property
+    def cardinality(self) -> float:
+        """Total number of configurations (``inf`` if any parameter is continuous)."""
+        total = 1.0
+        for p in self._parameters:
+            total *= p.cardinality
+            if math.isinf(total):
+                return math.inf
+        return total
+
+    @property
+    def is_enumerable(self) -> bool:
+        """Whether :meth:`enumerate` terminates."""
+        return math.isfinite(self.cardinality)
+
+    # -- configuration construction -------------------------------------------
+    def configuration(self, values: Mapping[str, Any]) -> Configuration:
+        """Build and validate a configuration from a mapping."""
+        missing = [p.name for p in self._parameters if p.name not in values]
+        if missing:
+            raise KeyError(f"missing values for parameters: {missing}")
+        extra = [k for k in values if k not in self._by_name]
+        if extra:
+            raise KeyError(f"unknown parameters: {extra}")
+        ordered = []
+        for p in self._parameters:
+            ordered.append(p.validate(values[p.name]))
+        return Configuration(self.parameter_names, ordered)
+
+    def default_configuration(self) -> Configuration:
+        """Configuration holding every parameter's default."""
+        return Configuration(self.parameter_names, [p.default for p in self._parameters])
+
+    def validate(self, config: Mapping[str, Any]) -> Configuration:
+        """Validate and normalize ``config`` into a :class:`Configuration`."""
+        return self.configuration(config)
+
+    def is_valid(self, config: Mapping[str, Any]) -> bool:
+        """Whether ``config`` assigns an in-domain value to every parameter."""
+        try:
+            self.configuration(config)
+            return True
+        except (KeyError, ValueError):
+            return False
+
+    # -- sampling / enumeration ------------------------------------------------
+    def sample(self, n: int, rng: RandomState = None, distinct: bool = True, max_attempts: int = 50) -> List[Configuration]:
+        """Draw ``n`` uniformly random configurations.
+
+        When ``distinct`` is true (the paper draws *distinct* configurations),
+        duplicates are rejected; if the space is smaller than ``n`` every
+        configuration is returned.
+        """
+        if n < 0:
+            raise ValueError("cannot sample a negative number of configurations")
+        gen = as_generator(rng)
+        if distinct and self.is_enumerable and self.cardinality <= n:
+            return self.enumerate()
+        configs: List[Configuration] = []
+        seen = set()
+        attempts = 0
+        while len(configs) < n and attempts < max_attempts:
+            batch = max(n - len(configs), 1)
+            draws = [p.sample(gen, size=batch) for p in self._parameters]
+            for row in zip(*draws):
+                c = Configuration(self.parameter_names, list(row))
+                if distinct:
+                    if c in seen:
+                        continue
+                    seen.add(c)
+                configs.append(c)
+                if len(configs) >= n:
+                    break
+            attempts += 1
+        return configs[:n]
+
+    def enumerate(self, limit: Optional[int] = None) -> List[Configuration]:
+        """Enumerate every configuration of a finite space (optionally capped)."""
+        if not self.is_enumerable:
+            raise ValueError(f"design space {self.name!r} is not enumerable")
+        value_lists = [p.values() for p in self._parameters]
+        names = self.parameter_names
+        out: List[Configuration] = []
+        for combo in itertools.product(*value_lists):
+            out.append(Configuration(names, list(combo)))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def iter_enumerate(self) -> Iterator[Configuration]:
+        """Lazily iterate over every configuration of a finite space."""
+        if not self.is_enumerable:
+            raise ValueError(f"design space {self.name!r} is not enumerable")
+        value_lists = [p.values() for p in self._parameters]
+        names = self.parameter_names
+        for combo in itertools.product(*value_lists):
+            yield Configuration(names, list(combo))
+
+    def neighbors(self, config: Mapping[str, Any]) -> List[Configuration]:
+        """One-parameter-away neighbors of ``config`` (used by local search)."""
+        base = self.configuration(config)
+        out: List[Configuration] = []
+        for p in self._parameters:
+            if not p.is_discrete:
+                continue
+            vals = p.values()
+            current = base[p.name]
+            if p.is_categorical:
+                candidates = [v for v in vals if v != current]
+            else:
+                try:
+                    idx = next(i for i, v in enumerate(vals) if v == current)
+                except StopIteration:
+                    idx = int(np.argmin([abs(p.to_numeric(v) - p.to_numeric(current)) for v in vals]))
+                candidates = []
+                if idx > 0:
+                    candidates.append(vals[idx - 1])
+                if idx < len(vals) - 1:
+                    candidates.append(vals[idx + 1])
+            for v in candidates:
+                out.append(base.replace(**{p.name: v}))
+        return out
+
+    # -- numeric encoding ---------------------------------------------------------
+    def encode(self, configs: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Encode configurations into a ``(n, n_features)`` float matrix.
+
+        Ordinal/integer/real/boolean parameters map to a single column holding
+        their numeric value; categorical parameters map to a one-hot block.
+        """
+        n = len(configs)
+        X = np.zeros((n, self._n_features), dtype=np.float64)
+        for j, p in enumerate(self._parameters):
+            sl = self._feature_slices[p.name]
+            if p.is_categorical:
+                for i, c in enumerate(configs):
+                    idx = p.index_of(c[p.name])  # type: ignore[attr-defined]
+                    X[i, sl.start + idx] = 1.0
+            else:
+                col = np.array([p.to_numeric(c[p.name]) for c in configs], dtype=np.float64)
+                X[:, sl.start] = col
+        return X
+
+    def encode_one(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Encode a single configuration into a 1-D feature vector."""
+        return self.encode([config])[0]
+
+    def decode(self, X: np.ndarray) -> List[Configuration]:
+        """Inverse of :meth:`encode` (snapping to the nearest legal values)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self._n_features:
+            raise ValueError(f"expected {self._n_features} features, got {X.shape[1]}")
+        configs: List[Configuration] = []
+        for row in X:
+            values: List[Any] = []
+            for p in self._parameters:
+                sl = self._feature_slices[p.name]
+                if p.is_categorical:
+                    idx = int(np.argmax(row[sl]))
+                    values.append(p.values()[idx])
+                else:
+                    values.append(p.from_numeric(float(row[sl.start])))
+            configs.append(Configuration(self.parameter_names, values))
+        return configs
+
+    def feature_slice(self, name: str) -> slice:
+        """Column slice of the encoded matrix owned by parameter ``name``."""
+        return self._feature_slices[name]
+
+    # -- misc -----------------------------------------------------------------
+    def subspace(self, names: Sequence[str], name: Optional[str] = None) -> "DesignSpace":
+        """A new space restricted to the given parameter names (same order)."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise KeyError(f"unknown parameters: {missing}")
+        return DesignSpace([self._by_name[n] for n in names], name=name or f"{self.name}-sub")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"DesignSpace(name={self.name!r}, dimension={self.dimension}, cardinality={self.cardinality})"
+
+
+__all__ = ["Configuration", "DesignSpace"]

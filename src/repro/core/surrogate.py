@@ -1,0 +1,196 @@
+"""Multi-objective surrogate model: one random forest per objective.
+
+"HyperMapper trains separate regressors to learn the mapping from our input
+(parameter) space to each output variable, i.e. the two performance metrics."
+This module bundles those per-objective forests behind a single fit/predict
+interface operating directly on configurations (encoding is delegated to the
+design space).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.forest import RandomForestRegressor
+from repro.core.history import History
+from repro.core.objectives import ObjectiveSet
+from repro.core.pareto import pareto_mask
+from repro.core.space import Configuration, DesignSpace
+from repro.utils.rng import RandomState, derive_seed
+
+
+class MultiObjectiveSurrogate:
+    """Per-objective random-forest surrogate over a design space.
+
+    Parameters
+    ----------
+    space:
+        Design space used to encode configurations into features.
+    objectives:
+        Objectives to model; one forest is trained per objective.
+    n_estimators, max_depth, min_samples_leaf, max_features, bootstrap:
+        Forest hyper-parameters shared by every per-objective forest.
+    log_objectives:
+        Optional list of objective names modelled in log-space.  Runtime spans
+        orders of magnitude across the KFusion space (Fig. 1 uses a log axis
+        for the ICP threshold and the response surface), so fitting
+        ``log(runtime)`` stabilizes the forest's variance-based splits.
+    random_state:
+        Base seed; each objective's forest derives its own stream.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: ObjectiveSet,
+        n_estimators: int = 32,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 2,
+        max_features=0.75,
+        bootstrap: bool = True,
+        log_objectives: Sequence[str] = (),
+        random_state: RandomState = None,
+    ) -> None:
+        self.space = space
+        self.objectives = objectives
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.log_objectives = set(log_objectives)
+        unknown = self.log_objectives - set(objectives.names)
+        if unknown:
+            raise ValueError(f"log_objectives refers to unknown objectives: {sorted(unknown)}")
+        self.random_state = random_state
+        self._forests: Dict[str, RandomForestRegressor] = {}
+
+    # -- fitting ------------------------------------------------------------
+    def fit(self, configs: Sequence[Configuration], metrics: Sequence[Mapping[str, float]]) -> "MultiObjectiveSurrogate":
+        """Fit one forest per objective on evaluated (config, metrics) pairs."""
+        if len(configs) != len(metrics):
+            raise ValueError("configs and metrics must have the same length")
+        if len(configs) == 0:
+            raise ValueError("cannot fit a surrogate on zero samples")
+        X = self.space.encode(configs)
+        self._forests = {}
+        for obj in self.objectives:
+            y = np.array([float(m[obj.name]) for m in metrics], dtype=np.float64)
+            y_fit = self._transform(obj.name, y)
+            forest = RandomForestRegressor(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                bootstrap=self.bootstrap,
+                random_state=derive_seed(self.random_state, obj.name),
+            )
+            forest.fit(X, y_fit)
+            self._forests[obj.name] = forest
+        return self
+
+    def fit_history(self, history: History) -> "MultiObjectiveSurrogate":
+        """Fit from an evaluation history."""
+        records = history.records
+        return self.fit([r.config for r in records], [r.metrics for r in records])
+
+    # -- prediction ------------------------------------------------------------
+    def predict(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Predict the ``(n, m)`` objective matrix (natural units)."""
+        mean, _ = self.predict_with_std(configs)
+        return mean
+
+    def predict_with_std(self, configs: Sequence[Configuration]) -> Tuple[np.ndarray, np.ndarray]:
+        """Predicted mean and across-tree std for every objective."""
+        self._require_fitted()
+        X = self.space.encode(configs)
+        n = X.shape[0]
+        mean = np.empty((n, len(self.objectives)), dtype=np.float64)
+        std = np.empty((n, len(self.objectives)), dtype=np.float64)
+        for j, obj in enumerate(self.objectives):
+            m, s = self._forests[obj.name].predict_with_std(X)
+            mean[:, j] = self._inverse_transform(obj.name, m)
+            # Propagate std through exp approximately for log-modelled objectives.
+            if obj.name in self.log_objectives:
+                std[:, j] = mean[:, j] * s
+            else:
+                std[:, j] = s
+        return mean, std
+
+    def predict_dict(self, config: Configuration) -> Dict[str, float]:
+        """Predict a single configuration as an objective-name dictionary."""
+        values = self.predict([config])[0]
+        return {o.name: float(values[j]) for j, o in enumerate(self.objectives)}
+
+    def predicted_pareto(
+        self,
+        pool: Sequence[Configuration],
+        feasible_only: bool = True,
+    ) -> Tuple[List[Configuration], np.ndarray]:
+        """Predicted-Pareto configurations of ``pool`` and their predicted objectives.
+
+        This is the ``Predict_Pareto`` step of Algorithm 1: predict both
+        objectives over the entire pool and return the non-dominated subset.
+        When ``feasible_only`` is set and at least one pool point is predicted
+        feasible, infeasible predictions are dropped first (the paper's 5 cm
+        accuracy limit).
+        """
+        if len(pool) == 0:
+            return [], np.empty((0, len(self.objectives)))
+        pred = self.predict(pool)
+        candidates = np.arange(len(pool))
+        if feasible_only:
+            feas = self.objectives.feasibility_mask(pred)
+            if np.any(feas):
+                candidates = np.flatnonzero(feas)
+        canonical = self.objectives.to_canonical(pred[candidates])
+        mask = pareto_mask(canonical)
+        idx = candidates[np.flatnonzero(mask)]
+        return [pool[int(i)] for i in idx], pred[idx]
+
+    # -- diagnostics ------------------------------------------------------------
+    def oob_errors(self) -> Dict[str, float]:
+        """Per-objective out-of-bag MSE of the underlying forests."""
+        self._require_fitted()
+        return {name: forest.oob_error() for name, forest in self._forests.items()}
+
+    def feature_importances(self) -> Dict[str, Dict[str, float]]:
+        """Per-objective feature importances keyed by encoded feature name.
+
+        Mirrors the correlation analysis of the feature space with runtime and
+        error referenced in the paper (Section IV-C).
+        """
+        self._require_fitted()
+        names = self.space.feature_names
+        out: Dict[str, Dict[str, float]] = {}
+        for obj_name, forest in self._forests.items():
+            imps = forest.feature_importances()
+            out[obj_name] = {names[i]: float(imps[i]) for i in range(len(names))}
+        return out
+
+    def forest(self, objective_name: str) -> RandomForestRegressor:
+        """The fitted forest for one objective."""
+        self._require_fitted()
+        return self._forests[objective_name]
+
+    # -- internals ------------------------------------------------------------
+    def _transform(self, objective_name: str, y: np.ndarray) -> np.ndarray:
+        if objective_name in self.log_objectives:
+            if np.any(y <= 0):
+                raise ValueError(f"objective {objective_name!r} has non-positive values; cannot model in log-space")
+            return np.log(y)
+        return y
+
+    def _inverse_transform(self, objective_name: str, y: np.ndarray) -> np.ndarray:
+        if objective_name in self.log_objectives:
+            return np.exp(y)
+        return y
+
+    def _require_fitted(self) -> None:
+        if not self._forests:
+            raise RuntimeError("this MultiObjectiveSurrogate is not fitted yet")
+
+
+__all__ = ["MultiObjectiveSurrogate"]

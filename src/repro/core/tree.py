@@ -1,0 +1,344 @@
+"""CART regression tree built from scratch on NumPy.
+
+HyperMapper fits one randomized decision forest per objective; the forest in
+:mod:`repro.core.forest` bags these trees.  The implementation favours clarity
+and vectorization over micro-optimization: split search uses cumulative-sum
+variance reduction per candidate feature, and prediction walks all samples
+level-by-level with array gathers (no per-sample Python recursion).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+MaxFeatures = Union[None, int, float, str]
+
+
+@dataclass
+class _NodeArrays:
+    """Flat array representation of a fitted tree."""
+
+    feature: np.ndarray  # (n_nodes,) int64, -1 for leaves
+    threshold: np.ndarray  # (n_nodes,) float64
+    left: np.ndarray  # (n_nodes,) int64, -1 for leaves
+    right: np.ndarray  # (n_nodes,) int64, -1 for leaves
+    value: np.ndarray  # (n_nodes,) float64 mean target at node
+    n_samples: np.ndarray  # (n_nodes,) int64
+    impurity: np.ndarray  # (n_nodes,) float64 variance at node
+
+
+class DecisionTreeRegressor:
+    """Binary regression tree with variance-reduction (MSE) splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` for unbounded).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples in each child.
+    max_features:
+        Number of features examined per split: an int, a fraction of the total,
+        ``"sqrt"``, ``"log2"`` or ``None`` (all features).  Random feature
+        subsets are what make the forest's trees "randomized decision trees" as
+        described in the paper.
+    min_impurity_decrease:
+        Minimum weighted variance decrease required to accept a split.
+    random_state:
+        Seed controlling feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: MaxFeatures = None,
+        min_impurity_decrease: float = 0.0,
+        random_state: RandomState = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 or None")
+        if min_impurity_decrease < 0:
+            raise ValueError("min_impurity_decrease must be non-negative")
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self.min_impurity_decrease = float(min_impurity_decrease)
+        self.random_state = random_state
+        self._nodes: Optional[_NodeArrays] = None
+        self._n_features: Optional[int] = None
+        self._depth = 0
+
+    # -- public API -----------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        """Fit the tree on features ``X`` (``(n, d)``) and targets ``y`` (``(n,)``)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
+            raise ValueError("X and y must be finite")
+        self._n_features = X.shape[1]
+        rng = as_generator(self.random_state)
+        n_feat_per_split = self._resolve_max_features(X.shape[1])
+
+        # Growable node storage.
+        feature: List[int] = []
+        threshold: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        value: List[float] = []
+        n_samples: List[int] = []
+        impurity: List[float] = []
+
+        def new_node(idx: np.ndarray) -> int:
+            node_id = len(feature)
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            yv = y[idx]
+            value.append(float(yv.mean()))
+            n_samples.append(int(idx.size))
+            impurity.append(float(yv.var()))
+            return node_id
+
+        # Iterative depth-first construction (explicit stack avoids recursion
+        # limits for deep trees on large sample sets).
+        root_idx = np.arange(X.shape[0])
+        root = new_node(root_idx)
+        stack: List[Tuple[int, np.ndarray, int]] = [(root, root_idx, 0)]
+        max_depth_seen = 0
+        while stack:
+            node_id, idx, depth = stack.pop()
+            max_depth_seen = max(max_depth_seen, depth)
+            if self._should_stop(idx, y, depth):
+                continue
+            split = self._best_split(X, y, idx, n_feat_per_split, rng)
+            if split is None:
+                continue
+            feat, thr, gain = split
+            if gain < self.min_impurity_decrease:
+                continue
+            mask = X[idx, feat] <= thr
+            left_idx = idx[mask]
+            right_idx = idx[~mask]
+            if left_idx.size < self.min_samples_leaf or right_idx.size < self.min_samples_leaf:
+                continue
+            feature[node_id] = int(feat)
+            threshold[node_id] = float(thr)
+            left_id = new_node(left_idx)
+            right_id = new_node(right_idx)
+            left[node_id] = left_id
+            right[node_id] = right_id
+            stack.append((left_id, left_idx, depth + 1))
+            stack.append((right_id, right_idx, depth + 1))
+
+        self._nodes = _NodeArrays(
+            feature=np.asarray(feature, dtype=np.int64),
+            threshold=np.asarray(threshold, dtype=np.float64),
+            left=np.asarray(left, dtype=np.int64),
+            right=np.asarray(right, dtype=np.int64),
+            value=np.asarray(value, dtype=np.float64),
+            n_samples=np.asarray(n_samples, dtype=np.int64),
+            impurity=np.asarray(impurity, dtype=np.float64),
+        )
+        self._depth = max_depth_seen
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for ``X`` (``(n, d)`` → ``(n,)``)."""
+        nodes = self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self._n_features:
+            raise ValueError(f"expected {self._n_features} features, got {X.shape[1]}")
+        n = X.shape[0]
+        node_idx = np.zeros(n, dtype=np.int64)
+        # Walk all samples simultaneously until every one rests in a leaf.
+        while True:
+            feat = nodes.feature[node_idx]
+            internal = feat >= 0
+            if not np.any(internal):
+                break
+            rows = np.flatnonzero(internal)
+            f = feat[rows]
+            thr = nodes.threshold[node_idx[rows]]
+            go_left = X[rows, f] <= thr
+            next_idx = np.where(go_left, nodes.left[node_idx[rows]], nodes.right[node_idx[rows]])
+            node_idx[rows] = next_idx
+        return nodes.value[node_idx]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Return the leaf node index each sample of ``X`` falls into."""
+        nodes = self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        n = X.shape[0]
+        node_idx = np.zeros(n, dtype=np.int64)
+        while True:
+            feat = nodes.feature[node_idx]
+            internal = feat >= 0
+            if not np.any(internal):
+                break
+            rows = np.flatnonzero(internal)
+            f = feat[rows]
+            thr = nodes.threshold[node_idx[rows]]
+            go_left = X[rows, f] <= thr
+            node_idx[rows] = np.where(go_left, nodes.left[node_idx[rows]], nodes.right[node_idx[rows]])
+        return node_idx
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes in the fitted tree."""
+        return int(self._require_fitted().feature.size)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes in the fitted tree."""
+        return int(np.sum(self._require_fitted().feature < 0))
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (a root-only tree has depth 0)."""
+        self._require_fitted()
+        return self._depth
+
+    def feature_importances(self) -> np.ndarray:
+        """Impurity-decrease feature importances (sums to 1 unless all zero)."""
+        nodes = self._require_fitted()
+        assert self._n_features is not None
+        importances = np.zeros(self._n_features, dtype=np.float64)
+        total = nodes.n_samples[0]
+        for node_id in range(nodes.feature.size):
+            f = nodes.feature[node_id]
+            if f < 0:
+                continue
+            l_id, r_id = nodes.left[node_id], nodes.right[node_id]
+            n_node = nodes.n_samples[node_id]
+            decrease = (
+                n_node * nodes.impurity[node_id]
+                - nodes.n_samples[l_id] * nodes.impurity[l_id]
+                - nodes.n_samples[r_id] * nodes.impurity[r_id]
+            )
+            importances[f] += decrease / total
+        s = importances.sum()
+        if s > 0:
+            importances /= s
+        return importances
+
+    # -- internals ---------------------------------------------------------------
+    def _require_fitted(self) -> _NodeArrays:
+        if self._nodes is None:
+            raise RuntimeError("this DecisionTreeRegressor is not fitted yet")
+        return self._nodes
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None or mf == "all":
+            return n_features
+        if isinstance(mf, str):
+            if mf == "sqrt":
+                return max(1, int(math.sqrt(n_features)))
+            if mf == "log2":
+                return max(1, int(math.log2(n_features))) if n_features > 1 else 1
+            raise ValueError(f"unknown max_features string {mf!r}")
+        if isinstance(mf, float) and not isinstance(mf, bool):
+            if not (0.0 < mf <= 1.0):
+                raise ValueError("fractional max_features must be in (0, 1]")
+            return max(1, int(round(mf * n_features)))
+        if isinstance(mf, int):
+            if mf < 1:
+                raise ValueError("integer max_features must be >= 1")
+            return min(mf, n_features)
+        raise ValueError(f"invalid max_features: {mf!r}")
+
+    def _should_stop(self, idx: np.ndarray, y: np.ndarray, depth: int) -> bool:
+        if idx.size < self.min_samples_split:
+            return True
+        if self.max_depth is not None and depth >= self.max_depth:
+            return True
+        yv = y[idx]
+        if np.allclose(yv, yv[0]):
+            return True
+        return False
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        n_feat_per_split: int,
+        rng: np.random.Generator,
+    ) -> Optional[Tuple[int, float, float]]:
+        """Best (feature, threshold, impurity decrease) over a random feature subset."""
+        n_features = X.shape[1]
+        if n_feat_per_split >= n_features:
+            candidates = np.arange(n_features)
+        else:
+            candidates = rng.choice(n_features, size=n_feat_per_split, replace=False)
+        y_node = y[idx]
+        n = y_node.size
+        parent_sse = float(np.sum((y_node - y_node.mean()) ** 2))
+        best_gain = -np.inf
+        best_feat = -1
+        best_thr = 0.0
+        min_leaf = self.min_samples_leaf
+        for feat in candidates:
+            x = X[idx, feat]
+            order = np.argsort(x, kind="stable")
+            xs = x[order]
+            ys = y_node[order]
+            # Candidate split positions: between distinct consecutive x values.
+            distinct = xs[1:] != xs[:-1]
+            if not np.any(distinct):
+                continue
+            csum = np.cumsum(ys)
+            csum_sq = np.cumsum(ys * ys)
+            total_sum = csum[-1]
+            total_sq = csum_sq[-1]
+            # After position i (0-based) the left child holds samples 0..i.
+            counts_left = np.arange(1, n)
+            sum_left = csum[:-1]
+            sq_left = csum_sq[:-1]
+            counts_right = n - counts_left
+            sum_right = total_sum - sum_left
+            sq_right = total_sq - sq_left
+            sse_left = sq_left - sum_left * sum_left / counts_left
+            sse_right = sq_right - sum_right * sum_right / counts_right
+            gain = parent_sse - (sse_left + sse_right)
+            valid = distinct & (counts_left >= min_leaf) & (counts_right >= min_leaf)
+            if not np.any(valid):
+                continue
+            gain = np.where(valid, gain, -np.inf)
+            pos = int(np.argmax(gain))
+            if gain[pos] > best_gain:
+                best_gain = float(gain[pos])
+                best_feat = int(feat)
+                best_thr = float(0.5 * (xs[pos] + xs[pos + 1]))
+        if best_feat < 0:
+            return None
+        # Convert SSE decrease into per-sample (weighted variance) decrease.
+        return best_feat, best_thr, best_gain / max(X.shape[0], 1)
+
+
+__all__ = ["DecisionTreeRegressor"]

@@ -1,0 +1,114 @@
+"""The simulated SLAMBench Android app run.
+
+Each "installation" runs the default KFusion configuration and the tuned
+(Pareto-best-runtime) configuration for 100 frames on its device and uploads
+both timings to the :class:`~repro.crowd.database.CrowdDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.crowd.database import CrowdDatabase, CrowdRecord
+from repro.devices.model import DeviceModel
+from repro.slambench.runner import SlamBenchRunner
+
+
+@dataclass
+class CrowdAppRun:
+    """Result of one device running the app (both configurations)."""
+
+    device: DeviceModel
+    default_runtime_s: float
+    tuned_runtime_s: float
+    n_frames: int
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of the tuned configuration over the default on this device."""
+        return self.default_runtime_s / self.tuned_runtime_s if self.tuned_runtime_s > 0 else float("inf")
+
+
+def run_crowd_experiment(
+    runner: SlamBenchRunner,
+    devices: Sequence[DeviceModel],
+    default_config: Mapping[str, object],
+    tuned_config: Mapping[str, object],
+    n_frames: int = 100,
+    database: Optional[CrowdDatabase] = None,
+    extra_configs: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> List[CrowdAppRun]:
+    """Run the app on every device of the fleet and populate the database.
+
+    The pipeline simulation (accuracy / per-frame work) is shared across
+    devices; only the device runtime model differs, exactly as in the real
+    experiment where every phone runs the same two configurations.
+
+    Parameters
+    ----------
+    runner:
+        A KFusion :class:`~repro.slambench.runner.SlamBenchRunner`.
+    devices:
+        The fleet (83 devices in the paper).
+    default_config, tuned_config:
+        The two configurations every device benchmarks.
+    n_frames:
+        Frames per app run (the app runs 100 "for practical reasons").
+    database:
+        Optional database to upload results into.
+    extra_configs:
+        Additional labelled configurations to benchmark on every device.
+    """
+    default_record = runner.run_config(default_config)
+    tuned_record = runner.run_config(tuned_config)
+    extra_records = {label: runner.run_config(cfg) for label, cfg in (extra_configs or {}).items()}
+
+    runs: List[CrowdAppRun] = []
+    for device in devices:
+        default_metrics = default_record.metrics_for(device)
+        tuned_metrics = tuned_record.metrics_for(device)
+        run = CrowdAppRun(
+            device=device,
+            default_runtime_s=default_metrics["runtime_s"],
+            tuned_runtime_s=tuned_metrics["runtime_s"],
+            n_frames=n_frames,
+        )
+        runs.append(run)
+        if database is not None:
+            database.upload(
+                CrowdRecord(
+                    device_name=device.name,
+                    device_category=device.category,
+                    config_label="default",
+                    runtime_s=default_metrics["runtime_s"],
+                    fps=default_metrics["fps"],
+                    n_frames=n_frames,
+                )
+            )
+            database.upload(
+                CrowdRecord(
+                    device_name=device.name,
+                    device_category=device.category,
+                    config_label="pareto-best",
+                    runtime_s=tuned_metrics["runtime_s"],
+                    fps=tuned_metrics["fps"],
+                    n_frames=n_frames,
+                )
+            )
+            for label, record in extra_records.items():
+                metrics = record.metrics_for(device)
+                database.upload(
+                    CrowdRecord(
+                        device_name=device.name,
+                        device_category=device.category,
+                        config_label=label,
+                        runtime_s=metrics["runtime_s"],
+                        fps=metrics["fps"],
+                        n_frames=n_frames,
+                    )
+                )
+    return runs
+
+
+__all__ = ["CrowdAppRun", "run_crowd_experiment"]

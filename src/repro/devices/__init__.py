@@ -1,0 +1,35 @@
+"""Analytical device models standing in for the paper's hardware platforms.
+
+The paper measures wall-clock frame times on an ODROID-XU3 (Mali-T628 GPU), an
+ASUS T200TA (Intel HD graphics) and a desktop NVIDIA GTX 780 Ti, plus 83
+crowd-sourced Android phones/tablets.  None of that hardware is available to a
+pure-Python reproduction, so runtime is estimated with a roofline-style cost
+model: each SLAM kernel contributes ``max(flops / throughput, bytes /
+bandwidth) + launch overhead`` and the per-frame time is the sum over kernels.
+The per-kernel work is an explicit function of the algorithmic parameters (see
+:mod:`repro.slambench.workload`), which is what shapes the runtime side of the
+performance/accuracy trade-off.
+"""
+
+from repro.devices.model import DeviceModel, KernelCost
+from repro.devices.catalog import (
+    ODROID_XU3,
+    ASUS_T200TA,
+    NVIDIA_GTX_780TI,
+    NVIDIA_QUADRO_DESKTOP,
+    get_device,
+    list_devices,
+)
+from repro.devices.mobile import make_mobile_fleet
+
+__all__ = [
+    "DeviceModel",
+    "KernelCost",
+    "ODROID_XU3",
+    "ASUS_T200TA",
+    "NVIDIA_GTX_780TI",
+    "NVIDIA_QUADRO_DESKTOP",
+    "get_device",
+    "list_devices",
+    "make_mobile_fleet",
+]

@@ -1,0 +1,48 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+One module per experiment:
+
+* :mod:`repro.experiments.fig1_response_surface` — Fig. 1, the KFusion runtime
+  response surface over (µ, ICP threshold),
+* :mod:`repro.experiments.fig3_kfusion_dse` — Fig. 3(a)/(b), KFusion design
+  space exploration on the ODROID-XU3 and ASUS T200TA,
+* :mod:`repro.experiments.fig4_elasticfusion_dse` — Fig. 4, ElasticFusion DSE
+  on the GTX 780 Ti,
+* :mod:`repro.experiments.fig5_crowdsourcing` — Fig. 5, the 83-device
+  crowd-sourcing speedup distribution,
+* :mod:`repro.experiments.table1_pareto` — Table I, the ElasticFusion Pareto
+  points,
+* :mod:`repro.experiments.ablations` — additional ablations (search-strategy
+  comparison, forest size sensitivity) referenced in DESIGN.md.
+
+Every experiment takes an :class:`~repro.experiments.common.ExperimentScale`
+so the same code runs at smoke-test, benchmark and paper scale.
+"""
+
+from repro.experiments.common import ExperimentScale, SMOKE, SMALL, MEDIUM, PAPER
+from repro.experiments.fig1_response_surface import run_fig1, format_fig1
+from repro.experiments.fig3_kfusion_dse import run_fig3, format_fig3
+from repro.experiments.fig4_elasticfusion_dse import run_fig4, format_fig4
+from repro.experiments.fig5_crowdsourcing import run_fig5, format_fig5
+from repro.experiments.table1_pareto import run_table1, format_table1
+from repro.experiments.ablations import run_search_strategy_ablation, run_forest_size_ablation
+
+__all__ = [
+    "ExperimentScale",
+    "SMOKE",
+    "SMALL",
+    "MEDIUM",
+    "PAPER",
+    "run_fig1",
+    "format_fig1",
+    "run_fig3",
+    "format_fig3",
+    "run_fig4",
+    "format_fig4",
+    "run_fig5",
+    "format_fig5",
+    "run_table1",
+    "format_table1",
+    "run_search_strategy_ablation",
+    "run_forest_size_ablation",
+]

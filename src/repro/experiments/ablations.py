@@ -1,0 +1,176 @@
+"""Ablation studies complementing the paper's evaluation.
+
+Two ablations referenced in DESIGN.md:
+
+* **Search-strategy comparison** — HyperMapper's random-forest active learning
+  against plain random search, an NSGA-II-style evolutionary search and an
+  OpenTuner-style bandit, all at the same evaluation budget, scored by
+  dominated hypervolume and by the number of valid configurations found.
+* **Forest-size sensitivity** — how the number of trees in the per-objective
+  forests affects the quality of the predicted Pareto front (surrogate
+  out-of-bag error and final hypervolume).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.baselines import BanditSearch, EvolutionarySearch, RandomSearch
+from repro.core.optimizer import HyperMapper
+from repro.core.pareto import hypervolume_2d
+from repro.devices.catalog import ODROID_XU3
+from repro.experiments.common import SMALL, ExperimentScale, make_runner
+from repro.slambench.parameters import kfusion_design_space, kfusion_objectives
+from repro.slambench.runner import SlamBenchRunner
+from repro.utils.rng import derive_seed
+from repro.utils.tables import format_table
+
+
+def _hypervolume(history, objectives, reference) -> float:
+    front = history.pareto_matrix()
+    if front.shape[0] == 0:
+        return 0.0
+    return hypervolume_2d(objectives.to_canonical(front), reference)
+
+
+def run_search_strategy_ablation(
+    scale: ExperimentScale = SMALL,
+    budget: Optional[int] = None,
+    seed: int = 23,
+    runner: Optional[SlamBenchRunner] = None,
+) -> Dict[str, object]:
+    """Compare search strategies at an equal hardware-evaluation budget."""
+    runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
+    space = kfusion_design_space()
+    objectives = kfusion_objectives()
+    device = ODROID_XU3
+    evaluate = runner.evaluation_function(device)
+    budget = budget if budget is not None else scale.n_random_samples + scale.max_iterations * scale.max_samples_per_iteration
+
+    # A common hypervolume reference point (worse than anything interesting).
+    reference = np.array([0.2, 2.0])  # 20 cm max ATE, 2 s/frame
+
+    results: List[Dict[str, object]] = []
+
+    hm = HyperMapper(
+        space,
+        objectives,
+        evaluate,
+        n_random_samples=max(budget // 2, 4),
+        max_iterations=scale.max_iterations,
+        pool_size=scale.pool_size,
+        max_samples_per_iteration=max(budget // (2 * max(scale.max_iterations, 1)), 2),
+        seed=derive_seed(seed, "ablation", "hypermapper"),
+    )
+    hm_result = hm.run()
+    results.append(
+        {
+            "strategy": "hypermapper",
+            "n_evaluations": len(hm_result.history),
+            "n_valid": hm_result.history.n_feasible(),
+            "n_pareto": len(hm_result.pareto),
+            "hypervolume": _hypervolume(hm_result.history, objectives, reference),
+        }
+    )
+
+    searches = {
+        "random": RandomSearch(space, objectives, evaluate, seed=derive_seed(seed, "ablation", "random")),
+        "evolutionary": EvolutionarySearch(space, objectives, evaluate, seed=derive_seed(seed, "ablation", "evolutionary")),
+        "bandit": BanditSearch(space, objectives, evaluate, seed=derive_seed(seed, "ablation", "bandit")),
+    }
+    for name, search in searches.items():
+        res = search.run(budget)
+        results.append(
+            {
+                "strategy": name,
+                "n_evaluations": len(res.history),
+                "n_valid": res.history.n_feasible(),
+                "n_pareto": len(res.pareto),
+                "hypervolume": _hypervolume(res.history, objectives, reference),
+            }
+        )
+
+    return {
+        "experiment": "ablation_search_strategy",
+        "scale": scale.name,
+        "budget": budget,
+        "reference_point": reference.tolist(),
+        "results": results,
+        "hypermapper_wins_hypervolume": bool(
+            results[0]["hypervolume"] >= max(r["hypervolume"] for r in results[1:])
+        ),
+    }
+
+
+def run_forest_size_ablation(
+    scale: ExperimentScale = SMALL,
+    forest_sizes: Optional[List[int]] = None,
+    seed: int = 29,
+    runner: Optional[SlamBenchRunner] = None,
+) -> Dict[str, object]:
+    """Sensitivity of the exploration outcome to the number of trees."""
+    runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
+    space = kfusion_design_space()
+    objectives = kfusion_objectives()
+    device = ODROID_XU3
+    evaluate = runner.evaluation_function(device)
+    forest_sizes = forest_sizes or [4, 16, 48]
+    reference = np.array([0.2, 2.0])
+
+    # The bootstrap random-sampling phase is identical for every forest size,
+    # so it is evaluated once and shared as a warm start.
+    shared_random = RandomSearch(space, objectives, evaluate, seed=derive_seed(seed, "forest-size", "bootstrap")).run(
+        scale.n_random_samples
+    )
+
+    rows = []
+    for n_trees in forest_sizes:
+        hm = HyperMapper(
+            space,
+            objectives,
+            evaluate,
+            n_random_samples=scale.n_random_samples,
+            max_iterations=max(scale.max_iterations - 1, 1),
+            pool_size=scale.pool_size,
+            max_samples_per_iteration=scale.max_samples_per_iteration,
+            surrogate_kwargs={"n_estimators": n_trees},
+            seed=derive_seed(seed, "forest-size", n_trees),
+        )
+        result = hm.run(initial_history=shared_random.history)
+        oob = result.surrogate.oob_errors() if result.surrogate is not None else {}
+        rows.append(
+            {
+                "n_trees": n_trees,
+                "n_evaluations": len(result.history),
+                "n_pareto": len(result.pareto),
+                "hypervolume": _hypervolume(result.history, objectives, reference),
+                "oob_mse": {k: float(v) for k, v in oob.items()},
+            }
+        )
+    return {
+        "experiment": "ablation_forest_size",
+        "scale": scale.name,
+        "results": rows,
+    }
+
+
+def format_search_strategy_ablation(result: Dict[str, object]) -> str:
+    """Plain-text table of the search-strategy ablation."""
+    rows = [
+        [r["strategy"], r["n_evaluations"], r["n_valid"], r["n_pareto"], f"{r['hypervolume']:.5f}"]
+        for r in result["results"]
+    ]
+    return format_table(
+        rows,
+        headers=["strategy", "evaluations", "valid", "Pareto points", "hypervolume"],
+        title=f"Search-strategy ablation (budget {result['budget']}, scale {result['scale']})",
+    )
+
+
+__all__ = [
+    "run_search_strategy_ablation",
+    "run_forest_size_ablation",
+    "format_search_strategy_ablation",
+]

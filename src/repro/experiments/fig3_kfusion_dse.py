@@ -1,0 +1,158 @@
+"""Figure 3: KFusion algorithmic design-space exploration (ODROID-XU3 / ASUS).
+
+Reproduces the random-sampling vs active-learning comparison of Fig. 3 and the
+headline numbers of Section IV:
+
+* number of valid configurations (max ATE below the 5 cm limit) found by the
+  random-sampling phase and added by active learning,
+* number of points on the final Pareto front,
+* the default configuration's frame rate (about 6 FPS on the ODROID-XU3),
+* the best-runtime valid configuration and its speedup over the default
+  (6.35x in the paper), including a configuration in the real-time range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.objectives import ObjectiveSet
+from repro.core.optimizer import HyperMapper
+from repro.devices.catalog import get_device
+from repro.devices.model import DeviceModel
+from repro.experiments.common import SMALL, ExperimentScale, make_runner
+from repro.slambench.parameters import (
+    ACCURACY_LIMIT_M,
+    kfusion_default_config,
+    kfusion_design_space,
+    kfusion_objectives,
+)
+from repro.slambench.runner import SlamBenchRunner
+from repro.utils.rng import derive_seed
+from repro.utils.tables import format_table
+
+
+def _front_series(records, objectives: ObjectiveSet) -> List[Dict[str, float]]:
+    return [
+        {objectives.names[0]: float(r.metrics[objectives.names[0]]), "runtime_s": float(r.metrics["runtime_s"])}
+        for r in records
+    ]
+
+
+def run_fig3(
+    platform: str = "odroid-xu3",
+    scale: ExperimentScale = SMALL,
+    seed: int = 7,
+    runner: Optional[SlamBenchRunner] = None,
+    accuracy_limit_m: float = ACCURACY_LIMIT_M,
+) -> Dict[str, object]:
+    """Run the KFusion DSE on one platform and collect the Fig. 3 statistics.
+
+    Pass the same ``runner`` to consecutive calls (ODROID then ASUS) to reuse
+    the cached pipeline simulations across platforms — accuracy is
+    device-independent, so only the runtime side differs.
+    """
+    device: DeviceModel = get_device(platform)
+    runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
+    space = kfusion_design_space()
+    objectives = kfusion_objectives(accuracy_limit_m)
+
+    optimizer = HyperMapper(
+        space,
+        objectives,
+        runner.evaluation_function(device),
+        n_random_samples=scale.n_random_samples,
+        max_iterations=scale.max_iterations,
+        pool_size=scale.pool_size,
+        max_samples_per_iteration=scale.max_samples_per_iteration,
+        seed=derive_seed(seed, "fig3", platform),
+    )
+    result = optimizer.run()
+
+    history = result.history
+    random_history = history.filter(source="random")
+    al_history = history.filter(source="active_learning")
+
+    default_config = kfusion_default_config()
+    default_metrics = runner.evaluate(default_config, device)
+
+    random_front = random_history.pareto_records()
+    full_front = result.pareto
+    best_speed = result.best_by("runtime_s")
+    best_accuracy = result.best_by("max_ate_m")
+
+    # Headline numbers.
+    speedup = default_metrics["runtime_s"] / best_speed.metrics["runtime_s"] if best_speed else float("nan")
+    real_time = [r for r in full_front if r.metrics["runtime_s"] <= 1.0 / 30.0]
+
+    out: Dict[str, object] = {
+        "experiment": "fig3_kfusion_dse",
+        "platform": device.name,
+        "platform_key": platform,
+        "scale": scale.name,
+        "space_cardinality": float(space.cardinality),
+        "accuracy_limit_m": accuracy_limit_m,
+        "n_random_samples": len(random_history),
+        "n_active_learning_samples": len(al_history),
+        "n_active_learning_iterations": len(result.iterations),
+        "samples_per_iteration": [r.n_new_samples for r in result.iterations],
+        "n_valid_random": random_history.n_feasible(),
+        "n_valid_active_learning": al_history.n_feasible(),
+        "n_pareto_points": len(full_front),
+        "n_pareto_points_random_only": len(random_front),
+        "default_metrics": {k: float(v) for k, v in default_metrics.items()},
+        "default_fps": float(default_metrics["fps"]),
+        "best_speed_config": dict(best_speed.config) if best_speed else None,
+        "best_speed_metrics": dict(best_speed.metrics) if best_speed else None,
+        "best_speed_fps": float(1.0 / best_speed.metrics["runtime_s"]) if best_speed else float("nan"),
+        "best_speedup_over_default": float(speedup),
+        "best_accuracy_config": dict(best_accuracy.config) if best_accuracy else None,
+        "best_accuracy_metrics": dict(best_accuracy.metrics) if best_accuracy else None,
+        "n_real_time_configs_on_front": len(real_time),
+        "random_front": _front_series(random_front, objectives),
+        "active_learning_front": _front_series(full_front, objectives),
+        "iteration_reports": [r.to_dict() for r in result.iterations],
+        "n_pipeline_simulations": runner.n_simulations,
+    }
+    return out
+
+
+def format_fig3(result: Dict[str, object]) -> str:
+    """Plain-text report mirroring Fig. 3 and the Section IV-B headline numbers."""
+    lines: List[str] = []
+    lines.append(f"Fig. 3 — KFusion DSE on {result['platform']} (scale: {result['scale']})")
+    lines.append(
+        f"  random sampling: {result['n_random_samples']} samples, "
+        f"{result['n_valid_random']} valid (max ATE < {result['accuracy_limit_m'] * 100:.0f} cm)"
+    )
+    lines.append(
+        f"  active learning: {result['n_active_learning_samples']} samples over "
+        f"{result['n_active_learning_iterations']} iterations "
+        f"({result['samples_per_iteration']}), {result['n_valid_active_learning']} new valid"
+    )
+    lines.append(
+        f"  Pareto front: {result['n_pareto_points']} points "
+        f"(random sampling alone: {result['n_pareto_points_random_only']})"
+    )
+    default = result["default_metrics"]
+    lines.append(
+        f"  default configuration: {default['runtime_s'] * 1000:.1f} ms/frame "
+        f"({result['default_fps']:.1f} FPS), max ATE {default['max_ate_m'] * 100:.2f} cm"
+    )
+    if result["best_speed_metrics"]:
+        bs = result["best_speed_metrics"]
+        lines.append(
+            f"  best-speed valid configuration: {bs['runtime_s'] * 1000:.1f} ms/frame "
+            f"({result['best_speed_fps']:.1f} FPS), max ATE {bs['max_ate_m'] * 100:.2f} cm "
+            f"-> speedup {result['best_speedup_over_default']:.2f}x over default"
+        )
+    lines.append(f"  Pareto configurations in the real-time range (>= 30 FPS): {result['n_real_time_configs_on_front']}")
+    front = result["active_learning_front"]
+    if front:
+        rows = [[f"{p['runtime_s'] * 1000:.1f}", f"{p['max_ate_m'] * 100:.2f}"] for p in front[:20]]
+        lines.append(format_table(rows, headers=["runtime (ms/frame)", "max ATE (cm)"], title="  Final Pareto front (first 20 points):"))
+    return "\n".join(lines)
+
+
+__all__ = ["run_fig3", "format_fig3"]

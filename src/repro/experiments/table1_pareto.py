@@ -1,0 +1,114 @@
+"""Table I: the ElasticFusion Pareto-efficiency points and their parameters.
+
+The paper's Table I lists the default configuration plus a handful of Pareto
+points found by the design-space exploration, reporting error, runtime and the
+parameter values (ICP/RGB weight, depth cut-off, confidence, and the five
+flags).  This harness derives the same rows from a Fig. 4 run: the default
+row, the best-speed row, the best-accuracy row, and up to two intermediate
+Pareto points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import SMALL, ExperimentScale
+from repro.experiments.fig4_elasticfusion_dse import run_fig4
+from repro.slambench.parameters import elasticfusion_default_config, table1_flag_columns
+from repro.utils.tables import format_table
+
+
+def _row(label: str, config: Dict[str, object], metrics: Dict[str, float]) -> Dict[str, object]:
+    flags = table1_flag_columns(config)
+    return {
+        "label": label,
+        "error_m": float(metrics["mean_ate_m"]),
+        "runtime_s": float(metrics["runtime_s"]),
+        "icp_rgb_weight": float(config["icp_rgb_weight"]),
+        "depth_cutoff": float(config["depth_cutoff"]),
+        "confidence_threshold": float(config["confidence_threshold"]),
+        **flags,
+    }
+
+
+def run_table1(
+    scale: ExperimentScale = SMALL,
+    seed: int = 11,
+    fig4_result: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build the Table I rows (reuses a Fig. 4 result when provided)."""
+    result = fig4_result if fig4_result is not None else run_fig4(scale=scale, seed=seed)
+
+    rows: List[Dict[str, object]] = []
+    default_config = dict(elasticfusion_default_config())
+    rows.append(_row("Default", default_config, result["default_metrics"]))
+
+    pareto = list(result.get("pareto_records", []))
+    pareto.sort(key=lambda r: r["metrics"]["runtime_s"])
+    if pareto:
+        best_speed = pareto[0]
+        best_accuracy = min(pareto, key=lambda r: r["metrics"]["mean_ate_m"])
+        rows.append(_row("Best speed", best_speed["config"], best_speed["metrics"]))
+        # Up to two intermediate points between best speed and best accuracy.
+        middle = [r for r in pareto if r is not best_speed and r is not best_accuracy]
+        for r in middle[:2]:
+            rows.append(_row("", r["config"], r["metrics"]))
+        if best_accuracy is not best_speed:
+            rows.append(_row("Best accuracy", best_accuracy["config"], best_accuracy["metrics"]))
+
+    default_row = rows[0]
+    speed_rows = [r for r in rows if r["label"] == "Best speed"]
+    accuracy_rows = [r for r in rows if r["label"] == "Best accuracy"]
+    summary = {
+        "speedup_best_speed": (default_row["runtime_s"] / speed_rows[0]["runtime_s"]) if speed_rows else float("nan"),
+        "accuracy_gain_best_accuracy": (default_row["error_m"] / accuracy_rows[0]["error_m"]) if accuracy_rows else float("nan"),
+        "speedup_best_accuracy": (default_row["runtime_s"] / accuracy_rows[0]["runtime_s"]) if accuracy_rows else float("nan"),
+    }
+    return {
+        "experiment": "table1_pareto",
+        "scale": result["scale"],
+        "platform": result["platform"],
+        "rows": rows,
+        "summary": summary,
+        "paper_reference": {
+            "default": {"error_m": 0.0558, "runtime_ms": 22.2},
+            "best_speed": {"error_m": 0.0420, "runtime_ms": 14.6, "speedup": 1.52},
+            "best_accuracy": {"error_m": 0.0269, "runtime_ms": 17.2, "accuracy_gain": 2.07},
+        },
+    }
+
+
+def format_table1(result: Dict[str, object]) -> str:
+    """Plain-text rendering of the reproduced Table I."""
+    headers = [
+        "", "Error (m)", "Runtime (ms)", "ICP", "Depth", "Confidence",
+        "SO3", "Close-Loops", "Reloc", "Fast-Odom", "FTF RGB",
+    ]
+    table_rows = []
+    for row in result["rows"]:
+        table_rows.append(
+            [
+                row["label"],
+                f"{row['error_m']:.4f}",
+                f"{row['runtime_s'] * 1000:.1f}",
+                f"{row['icp_rgb_weight']:g}",
+                f"{row['depth_cutoff']:g}",
+                f"{row['confidence_threshold']:g}",
+                row["SO3"],
+                row["Close-Loops"],
+                row["Reloc"],
+                row["Fast-Odom"],
+                row["FTF RGB"],
+            ]
+        )
+    table = format_table(table_rows, headers=headers, title=f"Table I — ElasticFusion Pareto points on {result['platform']} (scale: {result['scale']})")
+    s = result["summary"]
+    footer = (
+        f"\nbest-speed speedup over default: {s['speedup_best_speed']:.2f}x "
+        f"(paper: 1.52x); best-accuracy improvement: {s['accuracy_gain_best_accuracy']:.2f}x "
+        f"(paper: 2.07x) at {s['speedup_best_accuracy']:.2f}x speedup (paper: 1.29x)"
+    )
+    return table + footer
+
+
+__all__ = ["run_table1", "format_table1"]

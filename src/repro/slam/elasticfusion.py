@@ -1,0 +1,587 @@
+"""ElasticFusion-style surfel SLAM pipeline with tunable algorithmic parameters.
+
+The pipeline follows the structure of Whelan et al.'s ElasticFusion:
+
+* a growing **surfel map** is the world model (:mod:`repro.slam.surfel`);
+* camera motion is estimated by a **joint geometric + photometric**
+  Gauss-Newton alignment of the current frame against the *predicted model
+  view* (projective data association), with the relative weight of the two
+  terms exposed as the ``ICP/RGB weight`` parameter;
+* every frame is fused into the map; only surfels above the **confidence
+  threshold** participate in tracking;
+* the **depth cut-off** discards far (noisy) depth returns;
+* optional stages map to the paper's flags: SO(3) photometric pre-alignment,
+  open-loop (frame-to-frame) tracking instead of model tracking (i.e. local
+  loop closures disabled), relocalisation after tracking failures, fast
+  (single-pyramid-level) RGB odometry, and frame-to-frame RGB tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.slam import se3
+from repro.slam.camera import CameraIntrinsics
+from repro.slam.dataset import SyntheticRGBDDataset
+from repro.slam.filters import (
+    bilinear_sample,
+    block_average_downsample,
+    depth_pyramid,
+    downsample_intensity,
+    image_gradients,
+    intensity_pyramid,
+    normal_map,
+)
+from repro.slam.icp import solve_increment
+from repro.slam.pipeline import FrameStats, PipelineResult
+from repro.slam.surfel import SurfelMap
+from repro.slam.trajectory import Trajectory
+
+#: Nominal sensor resolution assumed by the runtime workload model.
+NOMINAL_SENSOR_WIDTH = 640
+NOMINAL_SENSOR_HEIGHT = 480
+
+
+@dataclass(frozen=True)
+class ElasticFusionConfig:
+    """Algorithmic configuration of the ElasticFusion pipeline.
+
+    Field defaults are the upstream ElasticFusion defaults, which are also the
+    "Default" row of Table I in the paper.
+    """
+
+    icp_rgb_weight: float = 10.0
+    depth_cutoff: float = 3.0
+    confidence_threshold: float = 10.0
+    so3_prealignment: bool = True
+    open_loop: bool = False
+    relocalisation: bool = True
+    fast_odometry: bool = False
+    frame_to_frame_rgb: bool = False
+    pyramid_levels: int = 3
+    iterations_per_level: Tuple[int, ...] = (4, 5, 10)  # coarse -> fine
+
+    def __post_init__(self) -> None:
+        if self.icp_rgb_weight < 0:
+            raise ValueError("icp_rgb_weight must be non-negative")
+        if self.depth_cutoff <= 0:
+            raise ValueError("depth_cutoff must be positive")
+        if self.confidence_threshold < 0:
+            raise ValueError("confidence_threshold must be non-negative")
+        if self.pyramid_levels < 1:
+            raise ValueError("pyramid_levels must be >= 1")
+        if len(self.iterations_per_level) < 1 or any(i < 0 for i in self.iterations_per_level):
+            raise ValueError("iterations_per_level must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for result records."""
+        return {
+            "icp_rgb_weight": self.icp_rgb_weight,
+            "depth_cutoff": self.depth_cutoff,
+            "confidence_threshold": self.confidence_threshold,
+            "so3_prealignment": self.so3_prealignment,
+            "open_loop": self.open_loop,
+            "relocalisation": self.relocalisation,
+            "fast_odometry": self.fast_odometry,
+            "frame_to_frame_rgb": self.frame_to_frame_rgb,
+        }
+
+    @classmethod
+    def from_mapping(cls, values: Dict[str, object]) -> "ElasticFusionConfig":
+        """Build a config from a (design-space) configuration dictionary."""
+        known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        filtered = {k: v for k, v in dict(values).items() if k in known}
+        for flag in ("so3_prealignment", "open_loop", "relocalisation", "fast_odometry", "frame_to_frame_rgb"):
+            if flag in filtered:
+                filtered[flag] = bool(filtered[flag])
+        return cls(**filtered)
+
+
+def _normalized_box_blur(image: np.ndarray, valid: np.ndarray, radius: int = 2) -> np.ndarray:
+    """Box blur that ignores invalid pixels (normalized convolution)."""
+    img = np.where(valid, image, 0.0)
+    weight = valid.astype(np.float64)
+    acc = np.zeros_like(img)
+    w_acc = np.zeros_like(img)
+    h, w = img.shape
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            ys = slice(max(dy, 0), h + min(dy, 0))
+            xs = slice(max(dx, 0), w + min(dx, 0))
+            ys_src = slice(max(-dy, 0), h + min(-dy, 0))
+            xs_src = slice(max(-dx, 0), w + min(-dx, 0))
+            acc[ys, xs] += img[ys_src, xs_src]
+            w_acc[ys, xs] += weight[ys_src, xs_src]
+    return np.where(w_acc > 0, acc / np.maximum(w_acc, 1e-12), 0.0)
+
+
+@dataclass
+class _TargetView:
+    """A reference view tracking residuals are computed against."""
+
+    pose: np.ndarray  # camera-to-world of the reference view
+    camera: CameraIntrinsics
+    vertices: np.ndarray  # (H, W, 3) world-frame vertices (0 where invalid)
+    normals: np.ndarray  # (H, W, 3) world-frame normals
+    intensity: np.ndarray  # (H, W)
+    valid: np.ndarray  # (H, W) bool
+
+
+class ElasticFusion:
+    """The ElasticFusion dense surfel SLAM pipeline."""
+
+    def __init__(
+        self,
+        config: ElasticFusionConfig,
+        seed: int = 0,
+        tracking_failure_rmse: float = 0.05,
+        min_inlier_fraction: float = 0.3,
+        fusion_stride: int = 1,
+        surfel_merge_distance: float = 0.02,
+        confidence_per_observation: float = 4.0,
+        min_model_coverage: float = 0.4,
+    ) -> None:
+        self.config = config
+        self.seed = int(seed)
+        self.tracking_failure_rmse = float(tracking_failure_rmse)
+        self.min_inlier_fraction = float(min_inlier_fraction)
+        self.fusion_stride = max(int(fusion_stride), 1)
+        self.surfel_merge_distance = float(surfel_merge_distance)
+        self.confidence_per_observation = float(confidence_per_observation)
+        self.min_model_coverage = float(min_model_coverage)
+
+    # -- preprocessing ------------------------------------------------------------
+    def _preprocess(
+        self, depth: np.ndarray, intensity: np.ndarray, camera: CameraIntrinsics
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[CameraIntrinsics]]:
+        cfg = self.config
+        d = np.asarray(depth, dtype=np.float64).copy()
+        d[d > cfg.depth_cutoff] = 0.0
+        depths = depth_pyramid(d, levels=cfg.pyramid_levels)
+        intensities = intensity_pyramid(np.asarray(intensity, dtype=np.float64), levels=len(depths))
+        cams = [camera]
+        for _ in range(1, len(depths)):
+            cams.append(cams[-1].scaled(2))
+        return depths, intensities, cams
+
+    # -- reference views -------------------------------------------------------------
+    @staticmethod
+    def _view_from_frame(
+        depth: np.ndarray, intensity: np.ndarray, camera: CameraIntrinsics, pose: np.ndarray
+    ) -> _TargetView:
+        vertices_cam = camera.backproject(depth)
+        normals_cam = normal_map(vertices_cam)
+        valid = (depth > 0) & (np.linalg.norm(normals_cam, axis=-1) > 1e-6)
+        vertices_world = np.where(valid[..., None], se3.transform_points(pose, vertices_cam), 0.0)
+        normals_world = np.where(valid[..., None], se3.rotate_vectors(pose, normals_cam), 0.0)
+        return _TargetView(
+            pose=np.array(pose),
+            camera=camera,
+            vertices=vertices_world,
+            normals=normals_world,
+            intensity=np.asarray(intensity, dtype=np.float64),
+            valid=valid,
+        )
+
+    def _view_from_model(
+        self, surfels: SurfelMap, camera: CameraIntrinsics, pose: np.ndarray
+    ) -> _TargetView:
+        pred = surfels.predict_view(camera, pose, confidence_threshold=self.config.confidence_threshold)
+        valid = pred["depth"] > 0
+        # The splatted intensity is piecewise constant per surfel; smooth it so
+        # that the photometric term sees usable image gradients (the real
+        # pipeline renders surfel discs at full sensor resolution, which has the
+        # same low-pass effect).
+        intensity = _normalized_box_blur(pred["intensity"], valid, radius=2)
+        return _TargetView(
+            pose=np.array(pose),
+            camera=camera,
+            vertices=pred["vertices"],
+            normals=pred["normals"],
+            intensity=intensity,
+            valid=valid,
+        )
+
+    @staticmethod
+    def _downsample_view(view: _TargetView, factor: int) -> _TargetView:
+        if factor == 1:
+            return view
+        cam = view.camera.scaled(factor)
+        h, w = cam.height, cam.width
+        return _TargetView(
+            pose=view.pose,
+            camera=cam,
+            vertices=view.vertices[::factor, ::factor][:h, :w],
+            normals=view.normals[::factor, ::factor][:h, :w],
+            intensity=downsample_intensity(view.intensity, factor),
+            valid=view.valid[::factor, ::factor][:h, :w],
+        )
+
+    # -- tracking ----------------------------------------------------------------------
+    def _joint_tracking(
+        self,
+        depths: List[np.ndarray],
+        intensities: List[np.ndarray],
+        cams: List[CameraIntrinsics],
+        geometric_target: _TargetView,
+        photometric_target: _TargetView,
+        initial_pose: np.ndarray,
+        rotation_only_first: bool,
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        """Joint ICP + RGB Gauss-Newton over the pyramid (coarse to fine)."""
+        cfg = self.config
+        T = np.array(initial_pose, dtype=np.float64)
+        stats = {"icp_iterations": 0, "rgb_iterations": 0, "error": np.inf, "inliers": 0.0, "so3_iterations": 0}
+
+        w_icp = cfg.icp_rgb_weight
+        w_rgb = 1.0
+        n_levels = len(depths)
+        rgb_levels = 1 if cfg.fast_odometry else n_levels
+
+        # Optional SO(3) photometric pre-alignment at the coarsest level.
+        if rotation_only_first:
+            level = n_levels - 1
+            T, so3_iters = self._so3_prealign(
+                depths[level], intensities[level], cams[level], photometric_target, T
+            )
+            stats["so3_iterations"] = so3_iters
+
+        for level in range(n_levels - 1, -1, -1):
+            iters = cfg.iterations_per_level[min(level, len(cfg.iterations_per_level) - 1)]
+            if iters <= 0:
+                continue
+            depth = depths[level]
+            intensity = intensities[level]
+            cam = cams[level]
+            geo_target = self._downsample_view(geometric_target, 2**level)
+            # Fast odometry runs the RGB term on a single (the coarsest)
+            # pyramid level only, trading accuracy for speed.
+            rgb_enabled = (level < rgb_levels) if not cfg.fast_odometry else (level == n_levels - 1)
+            rgb_target = self._downsample_view(photometric_target, 2**level) if rgb_enabled else None
+
+            vertices_cam = cam.backproject(depth)
+            mask = depth > 0
+            pts_cam = vertices_cam[mask]
+            obs_intensity = intensity[mask]
+            if pts_cam.shape[0] < 12:
+                continue
+            prev_error = None
+            for _ in range(int(iters)):
+                JtJ = np.zeros((6, 6))
+                Jtr = np.zeros(6)
+                total_error = 0.0
+                total_terms = 0
+
+                pts_world = se3.transform_points(T, pts_cam)
+                # Geometric term: projective association into the geometric target.
+                geo_JtJ, geo_Jtr, geo_err, geo_inliers = self._geometric_terms(pts_world, geo_target)
+                if geo_inliers > 0:
+                    JtJ += w_icp * geo_JtJ
+                    Jtr += w_icp * geo_Jtr
+                    total_error += geo_err * geo_inliers
+                    total_terms += geo_inliers
+                stats["icp_iterations"] += 1
+
+                # Photometric term.
+                if rgb_target is not None:
+                    rgb_JtJ, rgb_Jtr, rgb_err, rgb_inliers = self._photometric_terms(
+                        pts_world, obs_intensity, rgb_target
+                    )
+                    if rgb_inliers > 0:
+                        JtJ += w_rgb * rgb_JtJ
+                        Jtr += w_rgb * rgb_Jtr
+                    stats["rgb_iterations"] += 1
+
+                if total_terms < 6:
+                    break
+                delta = solve_increment(JtJ, Jtr, damping=1e-5)
+                T = se3.exp_se3(delta) @ T
+                error = total_error / max(total_terms, 1)
+                stats["error"] = error
+                stats["inliers"] = geo_inliers / max(pts_cam.shape[0], 1)
+                if prev_error is not None and abs(prev_error - error) < 1e-8:
+                    prev_error = error
+                    break
+                prev_error = error
+        return T, stats
+
+    def _geometric_terms(
+        self, pts_world: np.ndarray, target: _TargetView
+    ) -> Tuple[np.ndarray, np.ndarray, float, int]:
+        """Point-to-plane normal equations against a reference view."""
+        T_wc = se3.invert(target.pose)
+        pts_ref = se3.transform_points(T_wc, pts_world)
+        rows, cols, in_image = target.camera.project_to_indices(pts_ref)
+        valid = in_image & target.valid[rows, cols]
+        if not np.any(valid):
+            return np.zeros((6, 6)), np.zeros(6), float("inf"), 0
+        q = target.vertices[rows[valid], cols[valid]]
+        n = target.normals[rows[valid], cols[valid]]
+        p = pts_world[valid]
+        dist = np.linalg.norm(p - q, axis=1)
+        close = dist < 0.15
+        if not np.any(close):
+            return np.zeros((6, 6)), np.zeros(6), float("inf"), 0
+        p, q, n = p[close], q[close], n[close]
+        r = np.sum(n * (p - q), axis=1)
+        J = np.concatenate([n, np.cross(p, n)], axis=1)
+        return J.T @ J, J.T @ r, float(np.mean(r * r)), int(r.size)
+
+    def _photometric_terms(
+        self, pts_world: np.ndarray, obs_intensity: np.ndarray, target: _TargetView
+    ) -> Tuple[np.ndarray, np.ndarray, float, int]:
+        """Photometric (direct) normal equations against a reference view."""
+        cam = target.camera
+        T_wc = se3.invert(target.pose)
+        R_wc = T_wc[:3, :3]
+        pts_ref = se3.transform_points(T_wc, pts_world)
+        z = pts_ref[:, 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            u = cam.fx * pts_ref[:, 0] / z + cam.cx
+            v = cam.fy * pts_ref[:, 1] / z + cam.cy
+        valid = (z > 0.05) & np.isfinite(u) & np.isfinite(v) & (u >= 1) & (u <= cam.width - 2) & (v >= 1) & (v <= cam.height - 2)
+        if not np.any(valid):
+            return np.zeros((6, 6)), np.zeros(6), float("inf"), 0
+        gx_img, gy_img = image_gradients(target.intensity)
+        i_ref = bilinear_sample(target.intensity, u[valid], v[valid])
+        gx = bilinear_sample(gx_img, u[valid], v[valid])
+        gy = bilinear_sample(gy_img, u[valid], v[valid])
+        r = i_ref - obs_intensity[valid]
+        zv = z[valid]
+        xv, yv = pts_ref[valid, 0], pts_ref[valid, 1]
+        # d(residual)/d(point in reference camera frame)
+        d_ref = np.stack(
+            [
+                gx * cam.fx / zv,
+                gy * cam.fy / zv,
+                -(gx * cam.fx * xv + gy * cam.fy * yv) / (zv * zv),
+            ],
+            axis=1,
+        )
+        # Chain rule to world coordinates, then to the twist.
+        d_world = d_ref @ R_wc
+        p = pts_world[valid]
+        J = np.concatenate([d_world, np.cross(p, d_world)], axis=1)
+        # Robust weighting: downweight large photometric residuals (occlusions).
+        huber = 0.1
+        w = np.where(np.abs(r) < huber, 1.0, huber / np.maximum(np.abs(r), 1e-9))
+        Jw = J * w[:, None]
+        return Jw.T @ J, Jw.T @ r, float(np.mean(w * r * r)), int(r.size)
+
+    def _so3_prealign(
+        self,
+        depth: np.ndarray,
+        intensity: np.ndarray,
+        camera: CameraIntrinsics,
+        target: _TargetView,
+        initial_pose: np.ndarray,
+        iterations: int = 3,
+    ) -> Tuple[np.ndarray, int]:
+        """Rotation-only photometric alignment at the coarsest pyramid level."""
+        T = np.array(initial_pose, dtype=np.float64)
+        mask = depth > 0
+        vertices_cam = camera.backproject(depth)
+        pts_cam = vertices_cam[mask]
+        obs = np.asarray(intensity, dtype=np.float64)[mask]
+        if pts_cam.shape[0] < 12:
+            return T, 0
+        scaled_target = self._downsample_view(target, max(target.camera.width // camera.width, 1))
+        n_done = 0
+        for _ in range(iterations):
+            pts_world = se3.transform_points(T, pts_cam)
+            JtJ, Jtr, _, n_terms = self._photometric_terms(pts_world, obs, scaled_target)
+            if n_terms < 6:
+                break
+            # Keep only the rotational block.
+            A = JtJ[3:, 3:] + 1e-5 * np.eye(3)
+            b = Jtr[3:]
+            try:
+                w = np.linalg.solve(A, -b)
+            except np.linalg.LinAlgError:
+                break
+            T = se3.exp_se3(np.concatenate([np.zeros(3), w])) @ T
+            n_done += 1
+        return T, n_done
+
+    # -- main loop -----------------------------------------------------------------------
+    def run(self, dataset: SyntheticRGBDDataset, n_frames: Optional[int] = None) -> PipelineResult:
+        """Process ``dataset`` and return the pipeline result."""
+        cfg = self.config
+        total = len(dataset) if n_frames is None else min(n_frames, len(dataset))
+        if total < 1:
+            raise ValueError("dataset must contain at least one frame")
+        camera = dataset.camera
+        surfels = SurfelMap(merge_distance=self.surfel_merge_distance)
+        estimated = Trajectory()
+        frames: List[FrameStats] = []
+
+        nominal_pixels = NOMINAL_SENSOR_WIDTH * NOMINAL_SENSOR_HEIGHT
+        sim_pixels = camera.n_pixels
+        nominal_scale = nominal_pixels / max(sim_pixels, 1)
+
+        pose = np.array(dataset.trajectory[0])
+        prev_pose = pose.copy()
+        prev_view: Optional[_TargetView] = None
+        last_accepted_pose = pose.copy()
+
+        for i in range(total):
+            frame = dataset.frame(i)
+            depths, intensities, cams = self._preprocess(frame.depth, frame.intensity, camera)
+            stats = FrameStats(index=i, n_pixels=nominal_pixels)
+
+            # The previous pose estimate is the tracking initialization; at
+            # 30 FPS the inter-frame motion is small enough that a constant
+            # position model is robust (a velocity model amplifies any jump in
+            # the previous estimates).
+            predicted = pose
+            new_pose = predicted
+
+            if i > 0:
+                # Choose tracking targets according to the loop-closure flags.
+                # Model-based tracking requires the predicted model view to
+                # cover enough of the current image; otherwise (bootstrap, fast
+                # exploration of unseen areas) fall back to frame-to-frame.
+                geometric_target = prev_view
+                if not cfg.open_loop and surfels.n_active(cfg.confidence_threshold) >= 100:
+                    model_view = self._view_from_model(surfels, camera, predicted)
+                    observed = float(np.count_nonzero(depths[0] > 0))
+                    coverage = float(np.count_nonzero(model_view.valid)) / max(observed, 1.0)
+                    if coverage >= self.min_model_coverage:
+                        geometric_target = model_view
+                if cfg.frame_to_frame_rgb or cfg.open_loop:
+                    photometric_target = prev_view
+                else:
+                    photometric_target = geometric_target
+                if geometric_target is None or photometric_target is None:
+                    geometric_target = prev_view
+                    photometric_target = prev_view
+
+                if geometric_target is not None and photometric_target is not None:
+                    T, track_stats = self._joint_tracking(
+                        depths,
+                        intensities,
+                        cams,
+                        geometric_target,
+                        photometric_target,
+                        predicted,
+                        rotation_only_first=cfg.so3_prealignment,
+                    )
+                    stats.tracked = True
+                    stats.icp_iterations = int(track_stats["icp_iterations"])
+                    stats.rgb_iterations = int(track_stats["rgb_iterations"])
+                    stats.icp_error = float(track_stats["error"])
+                    stats.so3_used = cfg.so3_prealignment
+                    stats.extra["so3_iterations"] = float(track_stats["so3_iterations"])
+                    rmse = float(np.sqrt(track_stats["error"])) if np.isfinite(track_stats["error"]) else np.inf
+                    accepted = rmse <= self.tracking_failure_rmse and track_stats["inliers"] >= self.min_inlier_fraction
+                    if not accepted and cfg.relocalisation:
+                        # Relocalisation: retry against the global model from the
+                        # last accepted pose with extra iterations.
+                        reloc_target = (
+                            self._view_from_model(surfels, camera, last_accepted_pose)
+                            if surfels.n_active(cfg.confidence_threshold) >= 100
+                            else geometric_target
+                        )
+                        T_retry, retry_stats = self._joint_tracking(
+                            depths,
+                            intensities,
+                            cams,
+                            reloc_target,
+                            reloc_target,
+                            last_accepted_pose,
+                            rotation_only_first=True,
+                        )
+                        stats.relocalised = True
+                        stats.icp_iterations += int(retry_stats["icp_iterations"])
+                        stats.rgb_iterations += int(retry_stats["rgb_iterations"])
+                        retry_rmse = (
+                            float(np.sqrt(retry_stats["error"])) if np.isfinite(retry_stats["error"]) else np.inf
+                        )
+                        if retry_rmse < rmse:
+                            T, rmse = T_retry, retry_rmse
+                            accepted = rmse <= self.tracking_failure_rmse
+                    if accepted:
+                        new_pose = T
+                        stats.tracking_accepted = True
+                        last_accepted_pose = T
+                    else:
+                        new_pose = predicted
+                        stats.tracking_accepted = False
+
+            # Fusion of the current frame into the surfel map (every frame).
+            # Observations are associated with existing surfels projectively
+            # (as in ElasticFusion): if the model already has a compatible
+            # surfel at the observed pixel, that surfel is refined; otherwise a
+            # new surfel is created.  This prevents the "double crust" of
+            # duplicated surfaces a naive world-space merge would build up.
+            fused_depth = depths[0]
+            vertices_cam = cams[0].backproject(fused_depth)
+            normals_cam = normal_map(vertices_cam)
+            valid = (fused_depth > 0) & (np.linalg.norm(normals_cam, axis=-1) > 1e-6)
+            if self.fusion_stride > 1:
+                stride_mask = np.zeros_like(valid)
+                stride_mask[:: self.fusion_stride, :: self.fusion_stride] = True
+                valid = valid & stride_mask
+            pts_world = se3.transform_points(new_pose, vertices_cam[valid])
+            nrm_world = se3.rotate_vectors(new_pose, normals_cam[valid])
+            obs_intensity = intensities[0][valid]
+            obs_depth = fused_depth[valid]
+            n_updated, n_added = 0, 0
+            if surfels.n_surfels > 0:
+                assoc = surfels.predict_view(cams[0], new_pose, confidence_threshold=0.0, splat_radius=1)
+                assoc_idx = assoc["index"][valid]
+                assoc_depth = assoc["depth"][valid]
+                has_model = assoc_idx >= 0
+                close = np.abs(obs_depth - assoc_depth) < max(3.0 * self.surfel_merge_distance, 0.05)
+                compatible = np.zeros_like(has_model)
+                if np.any(has_model):
+                    model_normals = surfels.normals[np.clip(assoc_idx, 0, None)]
+                    compatible = np.sum(model_normals * nrm_world, axis=1) > 0.4
+                update_mask = has_model & close & compatible
+                if np.any(update_mask):
+                    n_updated = surfels.update_by_index(
+                        assoc_idx[update_mask],
+                        pts_world[update_mask],
+                        nrm_world[update_mask],
+                        obs_intensity[update_mask],
+                        weight=self.confidence_per_observation,
+                        frame_index=i,
+                    )
+                new_mask = ~update_mask
+            else:
+                new_mask = np.ones(pts_world.shape[0], dtype=bool)
+            if np.any(new_mask):
+                _, n_added = surfels.fuse(
+                    pts_world[new_mask],
+                    nrm_world[new_mask],
+                    obs_intensity[new_mask],
+                    frame_index=i,
+                    confidence_increment=self.confidence_per_observation,
+                )
+            if i % 10 == 9:
+                surfels.decay_unstable(i)
+            stats.integrated = True
+            stats.integration_elements = int((n_updated + n_added) * nominal_scale)
+            stats.n_surfels = int(surfels.n_surfels * nominal_scale)
+            stats.n_tracking_points = int(np.count_nonzero(depths[0] > 0) * nominal_scale)
+            stats.raycast_steps = int(surfels.n_active(cfg.confidence_threshold) * nominal_scale)
+
+            prev_view = self._view_from_frame(depths[0], intensities[0], cams[0], new_pose)
+            prev_pose = pose
+            pose = new_pose
+            estimated.append(pose)
+            frames.append(stats)
+
+        return PipelineResult(
+            estimated=estimated,
+            ground_truth=Trajectory(dataset.trajectory.poses[:total]),
+            frames=frames,
+            config=cfg.to_dict(),
+            pipeline="elasticfusion",
+        )
+
+
+__all__ = ["ElasticFusionConfig", "ElasticFusion", "NOMINAL_SENSOR_WIDTH", "NOMINAL_SENSOR_HEIGHT"]

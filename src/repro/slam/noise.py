@@ -1,0 +1,122 @@
+"""Kinect-style structured-light depth sensor noise model.
+
+The ICL-NUIM dataset ships both clean and noise-corrupted depth; SLAMBench
+uses the noisy variant, so the synthetic dataset applies a comparable noise
+model:
+
+* axial noise growing quadratically with depth (Khoshelham & Elberink, 2012),
+* depth quantization from disparity discretization,
+* pixel dropout at grazing incidence and beyond the sensor range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class KinectNoiseModel:
+    """Parameters of the synthetic depth noise.
+
+    Attributes
+    ----------
+    sigma_base:
+        Axial noise floor (metres) at the reference distance.
+    sigma_quadratic:
+        Quadratic growth coefficient of axial noise with depth.
+    quantization_step:
+        Disparity-driven quantization step at 1 m (scales with depth squared).
+    dropout_grazing_deg:
+        Surface-to-ray angles (degrees from the surface tangent) below which
+        the structured-light return is lost and the pixel drops out.
+    min_depth, max_depth:
+        Valid sensing range (outside it pixels drop out).
+    dropout_rate:
+        Base random dropout probability (dust, interference).
+    """
+
+    sigma_base: float = 0.0012
+    sigma_quadratic: float = 0.0019
+    quantization_step: float = 0.001
+    dropout_grazing_deg: float = 8.0
+    min_depth: float = 0.4
+    max_depth: float = 5.0
+    dropout_rate: float = 0.002
+
+    def axial_sigma(self, depth: np.ndarray) -> np.ndarray:
+        """Standard deviation of the axial noise at the given depth (metres)."""
+        depth = np.asarray(depth, dtype=np.float64)
+        return self.sigma_base + self.sigma_quadratic * np.square(np.maximum(depth - 0.4, 0.0))
+
+    def apply(
+        self,
+        depth: np.ndarray,
+        rng: RandomState = None,
+        incidence_cos: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return a noisy copy of ``depth`` (zeros mark dropped-out pixels).
+
+        Parameters
+        ----------
+        depth:
+            Clean depth map in metres (0 = no return).
+        rng:
+            Random source.
+        incidence_cos:
+            Optional per-pixel cosine of the angle between the viewing ray and
+            the surface normal; near-grazing pixels drop out.
+        """
+        gen = as_generator(rng)
+        depth = np.asarray(depth, dtype=np.float64)
+        valid = np.isfinite(depth) & (depth > 0)
+        noisy = np.where(valid, depth, 0.0).copy()
+
+        # Axial Gaussian noise.
+        sigma = self.axial_sigma(noisy)
+        noisy = np.where(valid, noisy + gen.normal(size=depth.shape) * sigma, 0.0)
+
+        # Quantization (disparity discretization grows with depth^2).
+        step = np.maximum(self.quantization_step * np.square(np.maximum(noisy, 1e-6)), 1e-6)
+        noisy = np.where(valid, np.round(noisy / step) * step, 0.0)
+
+        # Range gating.
+        in_range = (noisy >= self.min_depth) & (noisy <= self.max_depth)
+
+        # Grazing-angle dropout.
+        keep = np.ones_like(depth, dtype=bool)
+        if incidence_cos is not None:
+            grazing_cos = np.sin(np.deg2rad(self.dropout_grazing_deg))
+            keep &= np.abs(np.asarray(incidence_cos)) > grazing_cos
+
+        # Random dropout.
+        if self.dropout_rate > 0:
+            keep &= gen.random(size=depth.shape) >= self.dropout_rate
+
+        out = np.where(valid & in_range & keep, noisy, 0.0)
+        return out
+
+    def apply_intensity(self, intensity: np.ndarray, rng: RandomState = None, sigma: float = 0.01) -> np.ndarray:
+        """Add mild photometric noise (shot noise + quantization to 8 bits)."""
+        gen = as_generator(rng)
+        img = np.asarray(intensity, dtype=np.float64)
+        noisy = img + gen.normal(scale=sigma, size=img.shape)
+        noisy = np.clip(noisy, 0.0, 1.0)
+        return np.round(noisy * 255.0) / 255.0
+
+
+NOISELESS = KinectNoiseModel(
+    sigma_base=0.0,
+    sigma_quadratic=0.0,
+    quantization_step=1e-9,
+    dropout_grazing_deg=0.0,
+    dropout_rate=0.0,
+)
+"""A degenerate noise model that leaves depth untouched (for unit tests)."""
+
+
+__all__ = ["KinectNoiseModel", "NOISELESS"]

@@ -1,0 +1,313 @@
+"""Surfel map: the ElasticFusion world model.
+
+A surfel is a small oriented disc with a position, normal, intensity
+(grayscale colour), confidence counter and last-seen timestamp.  New
+observations are fused into existing surfels when they fall into the same
+spatial bin (weighted averaging, confidence increment) and appended otherwise.
+Only surfels whose confidence exceeds the configured *confidence threshold*
+participate in tracking — this is one of the tuned algorithmic parameters.
+
+The map also provides the *model prediction*: splatting the active surfels
+into a virtual camera to obtain predicted vertex/normal/intensity maps, which
+is how ElasticFusion performs projective data association for its joint
+geometric/photometric tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.slam.camera import CameraIntrinsics
+from repro.slam.se3 import invert, transform_points
+
+
+class SurfelMap:
+    """Growable array-of-structures surfel map with spatial-hash fusion.
+
+    Parameters
+    ----------
+    merge_distance:
+        Edge length of the spatial bins used for data association during
+        fusion (metres); observations falling into an occupied bin update the
+        existing surfel.
+    initial_capacity:
+        Initial array capacity (grown geometrically).
+    """
+
+    def __init__(self, merge_distance: float = 0.02, initial_capacity: int = 4096) -> None:
+        if merge_distance <= 0:
+            raise ValueError("merge_distance must be positive")
+        self.merge_distance = float(merge_distance)
+        self._capacity = int(initial_capacity)
+        self._n = 0
+        self.positions = np.zeros((self._capacity, 3), dtype=np.float64)
+        self.normals = np.zeros((self._capacity, 3), dtype=np.float64)
+        self.intensities = np.zeros(self._capacity, dtype=np.float64)
+        self.confidences = np.zeros(self._capacity, dtype=np.float64)
+        self.timestamps = np.zeros(self._capacity, dtype=np.int64)
+        self.creation_times = np.zeros(self._capacity, dtype=np.int64)
+        self._bins: Dict[int, int] = {}
+
+    # -- basic accessors -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_surfels(self) -> int:
+        """Number of surfels currently stored."""
+        return self._n
+
+    def active_mask(self, confidence_threshold: float) -> np.ndarray:
+        """Mask of surfels stable enough to be used for tracking."""
+        return self.confidences[: self._n] >= confidence_threshold
+
+    def n_active(self, confidence_threshold: float) -> int:
+        """Number of surfels passing the confidence threshold."""
+        return int(np.count_nonzero(self.active_mask(confidence_threshold)))
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint."""
+        return int(
+            self.positions.nbytes
+            + self.normals.nbytes
+            + self.intensities.nbytes
+            + self.confidences.nbytes
+            + self.timestamps.nbytes
+        )
+
+    # -- fusion --------------------------------------------------------------------
+    def _grow(self, needed: int) -> None:
+        if self._n + needed <= self._capacity:
+            return
+        new_capacity = max(self._capacity * 2, self._n + needed)
+        for name in ("positions", "normals"):
+            arr = getattr(self, name)
+            new = np.zeros((new_capacity, 3), dtype=arr.dtype)
+            new[: self._n] = arr[: self._n]
+            setattr(self, name, new)
+        for name in ("intensities", "confidences"):
+            arr = getattr(self, name)
+            new = np.zeros(new_capacity, dtype=arr.dtype)
+            new[: self._n] = arr[: self._n]
+            setattr(self, name, new)
+        for name in ("timestamps", "creation_times"):
+            arr = getattr(self, name)
+            new = np.zeros(new_capacity, dtype=arr.dtype)
+            new[: self._n] = arr[: self._n]
+            setattr(self, name, new)
+        self._capacity = new_capacity
+
+    def _bin_keys(self, points: np.ndarray) -> np.ndarray:
+        grid = np.floor(points / self.merge_distance).astype(np.int64)
+        # Pack the three grid indices into one int64 key (21 bits per axis).
+        offset = 1 << 20
+        return ((grid[:, 0] + offset) << 42) | ((grid[:, 1] + offset) << 21) | (grid[:, 2] + offset)
+
+    def fuse(
+        self,
+        points_world: np.ndarray,
+        normals_world: np.ndarray,
+        intensities: np.ndarray,
+        frame_index: int,
+        confidence_increment: float = 1.0,
+    ) -> Tuple[int, int]:
+        """Fuse an observed point cloud into the map.
+
+        Returns ``(n_updated, n_added)``.
+        """
+        pts = np.asarray(points_world, dtype=np.float64).reshape(-1, 3)
+        nrm = np.asarray(normals_world, dtype=np.float64).reshape(-1, 3)
+        col = np.asarray(intensities, dtype=np.float64).reshape(-1)
+        if pts.shape[0] != nrm.shape[0] or pts.shape[0] != col.shape[0]:
+            raise ValueError("points, normals and intensities must have matching lengths")
+        if pts.shape[0] == 0:
+            return 0, 0
+        keys = self._bin_keys(pts)
+        # Collapse duplicate observations that fall into the same bin; the
+        # number of collapsed observations weights the confidence increment
+        # (a bin seen by many pixels in one frame becomes stable faster, as in
+        # the full-resolution pipeline).
+        unique_keys, first_idx, counts = np.unique(keys, return_index=True, return_counts=True)
+        pts = pts[first_idx]
+        nrm = nrm[first_idx]
+        col = col[first_idx]
+        increments = confidence_increment * counts.astype(np.float64)
+
+        existing_idx = np.array([self._bins.get(int(k), -1) for k in unique_keys], dtype=np.int64)
+        update_mask = existing_idx >= 0
+        n_updated = int(np.count_nonzero(update_mask))
+        n_added = int(np.count_nonzero(~update_mask))
+
+        # Update existing surfels: confidence-weighted running average.
+        if n_updated:
+            idx = existing_idx[update_mask]
+            inc = increments[update_mask]
+            w_old = self.confidences[idx]
+            w_new = w_old + inc
+            alpha = (inc / w_new)[:, None]
+            self.positions[idx] = self.positions[idx] * (1 - alpha) + pts[update_mask] * alpha
+            blended = self.normals[idx] * (1 - alpha) + nrm[update_mask] * alpha
+            norms = np.linalg.norm(blended, axis=1, keepdims=True)
+            self.normals[idx] = blended / np.maximum(norms, 1e-12)
+            self.intensities[idx] = self.intensities[idx] * (1 - alpha[:, 0]) + col[update_mask] * alpha[:, 0]
+            self.confidences[idx] = w_new
+            self.timestamps[idx] = frame_index
+
+        # Append new surfels.
+        if n_added:
+            self._grow(n_added)
+            start = self._n
+            end = start + n_added
+            self.positions[start:end] = pts[~update_mask]
+            self.normals[start:end] = nrm[~update_mask]
+            self.intensities[start:end] = col[~update_mask]
+            self.confidences[start:end] = increments[~update_mask]
+            self.timestamps[start:end] = frame_index
+            self.creation_times[start:end] = frame_index
+            new_keys = unique_keys[~update_mask]
+            for offset, k in enumerate(new_keys):
+                self._bins[int(k)] = start + offset
+            self._n = end
+        return n_updated, n_added
+
+    def update_by_index(
+        self,
+        indices: np.ndarray,
+        points_world: np.ndarray,
+        normals_world: np.ndarray,
+        intensities: np.ndarray,
+        weight: float,
+        frame_index: int,
+    ) -> int:
+        """Fuse observations into *specific* surfels (projective data association).
+
+        ``indices`` gives, per observation, the surfel it was associated with
+        (as produced by :meth:`predict_view`'s index map).  Multiple
+        observations of the same surfel are averaged.  Returns the number of
+        distinct surfels updated.
+        """
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        pts = np.asarray(points_world, dtype=np.float64).reshape(-1, 3)
+        nrm = np.asarray(normals_world, dtype=np.float64).reshape(-1, 3)
+        col = np.asarray(intensities, dtype=np.float64).reshape(-1)
+        if idx.size == 0:
+            return 0
+        if np.any(idx < 0) or np.any(idx >= self._n):
+            raise IndexError("surfel indices out of range")
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        k = uniq.size
+        w_acc = np.zeros(k)
+        p_acc = np.zeros((k, 3))
+        n_acc = np.zeros((k, 3))
+        c_acc = np.zeros(k)
+        np.add.at(w_acc, inverse, weight)
+        np.add.at(p_acc, inverse, pts * weight)
+        np.add.at(n_acc, inverse, nrm * weight)
+        np.add.at(c_acc, inverse, col * weight)
+        conf_old = self.confidences[uniq]
+        denom = conf_old + w_acc
+        self.positions[uniq] = (self.positions[uniq] * conf_old[:, None] + p_acc) / denom[:, None]
+        blended = self.normals[uniq] * conf_old[:, None] + n_acc
+        norms = np.linalg.norm(blended, axis=1, keepdims=True)
+        self.normals[uniq] = blended / np.maximum(norms, 1e-12)
+        self.intensities[uniq] = (self.intensities[uniq] * conf_old + c_acc) / denom
+        self.confidences[uniq] = denom
+        self.timestamps[uniq] = frame_index
+        return int(k)
+
+    # -- model prediction ------------------------------------------------------------
+    def predict_view(
+        self,
+        camera: CameraIntrinsics,
+        pose_cam_to_world: np.ndarray,
+        confidence_threshold: float = 0.0,
+        max_depth: float = 10.0,
+        splat_radius: int = 1,
+    ) -> Dict[str, np.ndarray]:
+        """Splat active surfels into a virtual camera (z-buffered).
+
+        Each surfel covers a ``(2 * splat_radius + 1)``-pixel square so the
+        predicted view is dense enough for projective data association even at
+        low image resolutions (real surfels are discs that cover several
+        pixels).
+
+        Returns a dictionary with ``depth`` (H, W), ``vertices`` (H, W, 3,
+        world frame), ``normals`` (H, W, 3), ``intensity`` (H, W) and
+        ``index`` (H, W, surfel index or -1).
+        """
+        h, w = camera.height, camera.width
+        out = {
+            "depth": np.zeros((h, w)),
+            "vertices": np.zeros((h, w, 3)),
+            "normals": np.zeros((h, w, 3)),
+            "intensity": np.zeros((h, w)),
+            "index": np.full((h, w), -1, dtype=np.int64),
+        }
+        if self._n == 0:
+            return out
+        mask = self.active_mask(confidence_threshold)
+        idx_active = np.flatnonzero(mask)
+        if idx_active.size == 0:
+            return out
+        pts_world = self.positions[idx_active]
+        T_wc = invert(pose_cam_to_world)
+        pts_cam = transform_points(T_wc, pts_world)
+        rows, cols, valid = camera.project_to_indices(pts_cam)
+        z = pts_cam[:, 2]
+        valid &= (z > 0.05) & (z < max_depth)
+        if not np.any(valid):
+            return out
+        rows, cols, z = rows[valid], cols[valid], z[valid]
+        surfel_ids = idx_active[valid]
+        # Z-buffer: keep the nearest surfel per pixel.  Sort by depth descending
+        # so that the nearest write wins (later writes overwrite earlier ones).
+        if splat_radius > 0:
+            offsets = [(dr, dc) for dr in range(-splat_radius, splat_radius + 1) for dc in range(-splat_radius, splat_radius + 1)]
+            all_rows = np.concatenate([np.clip(rows + dr, 0, h - 1) for dr, _ in offsets])
+            all_cols = np.concatenate([np.clip(cols + dc, 0, w - 1) for _, dc in offsets])
+            all_z = np.concatenate([z] * len(offsets))
+            all_ids = np.concatenate([surfel_ids] * len(offsets))
+        else:
+            all_rows, all_cols, all_z, all_ids = rows, cols, z, surfel_ids
+        order = np.argsort(-all_z, kind="stable")
+        all_rows, all_cols, all_z, all_ids = all_rows[order], all_cols[order], all_z[order], all_ids[order]
+        out["depth"][all_rows, all_cols] = all_z
+        out["index"][all_rows, all_cols] = all_ids
+        out["vertices"][all_rows, all_cols] = self.positions[all_ids]
+        out["normals"][all_rows, all_cols] = self.normals[all_ids]
+        out["intensity"][all_rows, all_cols] = self.intensities[all_ids]
+        return out
+
+    def decay_unstable(self, frame_index: int, max_age: int = 60, min_confidence: float = 2.0) -> int:
+        """Remove surfels that never became confident and have not been seen lately.
+
+        Mirrors ElasticFusion's free-space violation / unstable-point cleanup.
+        Returns the number of removed surfels.
+        """
+        if self._n == 0:
+            return 0
+        n = self._n
+        age = frame_index - self.timestamps[:n]
+        unstable = (self.confidences[:n] < min_confidence) & (age > max_age)
+        if not np.any(unstable):
+            return 0
+        keep = ~unstable
+        n_keep = int(np.count_nonzero(keep))
+        for name in ("positions", "normals"):
+            getattr(self, name)[:n_keep] = getattr(self, name)[:n][keep]
+        for name in ("intensities", "confidences", "timestamps", "creation_times"):
+            getattr(self, name)[:n_keep] = getattr(self, name)[:n][keep]
+        removed = n - n_keep
+        self._n = n_keep
+        # Rebuild the spatial hash (indices changed).
+        self._bins = {}
+        keys = self._bin_keys(self.positions[: self._n])
+        for i, k in enumerate(keys):
+            self._bins[int(k)] = i
+        return removed
+
+
+__all__ = ["SurfelMap"]

@@ -1,0 +1,37 @@
+"""SLAMBench-style benchmarking harness.
+
+This subpackage plays the role SLAMBench plays in the paper: it exposes the
+two applications' algorithmic design spaces and default configurations
+(:mod:`repro.slambench.parameters`), runs a pipeline over the dataset and
+collects the two performance metrics — absolute trajectory error and per-frame
+runtime (:mod:`repro.slambench.runner`) — where the runtime comes from the
+per-kernel workload model (:mod:`repro.slambench.workload`) evaluated on a
+device model from :mod:`repro.devices`.
+"""
+
+from repro.slambench.parameters import (
+    kfusion_design_space,
+    kfusion_default_config,
+    kfusion_objectives,
+    elasticfusion_design_space,
+    elasticfusion_default_config,
+    elasticfusion_objectives,
+    ACCURACY_LIMIT_M,
+)
+from repro.slambench.workload import kfusion_frame_kernels, elasticfusion_frame_kernels, sequence_runtime
+from repro.slambench.runner import SlamBenchRunner, SlamRunRecord
+
+__all__ = [
+    "kfusion_design_space",
+    "kfusion_default_config",
+    "kfusion_objectives",
+    "elasticfusion_design_space",
+    "elasticfusion_default_config",
+    "elasticfusion_objectives",
+    "ACCURACY_LIMIT_M",
+    "kfusion_frame_kernels",
+    "elasticfusion_frame_kernels",
+    "sequence_runtime",
+    "SlamBenchRunner",
+    "SlamRunRecord",
+]

@@ -1,0 +1,56 @@
+"""JSON serialization helpers for experiment artifacts.
+
+Experiment harnesses persist their reproduced tables/series as JSON so that
+``EXPERIMENTS.md`` entries can be regenerated and compared across runs.  NumPy
+scalars/arrays and dataclass-like objects are converted to plain Python types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable plain Python types."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    if hasattr(obj, "to_dict"):
+        return to_jsonable(obj.to_dict())
+    raise TypeError(f"cannot convert object of type {type(obj).__name__} to JSON")
+
+
+def dump_json(obj: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path`` as JSON (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load JSON previously written by :func:`dump_json`."""
+    return json.loads(Path(path).read_text())
+
+
+__all__ = ["to_jsonable", "dump_json", "load_json"]

@@ -1,0 +1,76 @@
+"""Plain-text table formatting used by experiment reports and benchmarks.
+
+The experiment harnesses print the reproduced paper tables/series directly to
+stdout so the benchmark output is self-describing; no plotting dependency is
+required.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _stringify(value: Any, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Sequence[Any]],
+    headers: Optional[Sequence[str]] = None,
+    float_fmt: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Format ``rows`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row sequences; cells may be any type, floats are formatted
+        with ``float_fmt``.
+    headers:
+        Optional column headers.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title printed above the table.
+    """
+    str_rows: List[List[str]] = [[_stringify(c, float_fmt) for c in row] for row in rows]
+    if headers is not None:
+        header_row = [str(h) for h in headers]
+        all_rows = [header_row] + str_rows
+    else:
+        header_row = None
+        all_rows = str_rows
+    if not all_rows:
+        return title or ""
+    n_cols = max(len(r) for r in all_rows)
+    for r in all_rows:
+        r.extend([""] * (n_cols - len(r)))
+    widths = [max(len(r[i]) for r in all_rows) for i in range(n_cols)]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if header_row is not None:
+        lines.append(fmt_row(header_row))
+        lines.append("  ".join("-" * w for w in widths))
+        body = str_rows
+    else:
+        body = str_rows
+    lines.extend(fmt_row(r) for r in body)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Iterable[Sequence[Any]], float_fmt: str = ".4g") -> str:
+    """Format ``(key, value)`` pairs as an aligned two-column block."""
+    return format_table(pairs, headers=None, float_fmt=float_fmt)
+
+
+__all__ = ["format_table", "format_kv"]

@@ -1,0 +1,67 @@
+"""Lightweight wall-clock timing helpers.
+
+``Timer`` is used both by the benchmark harness (to report how long a DSE run
+took) and internally by the active-learning optimizer to record per-iteration
+training time, mirroring the paper's observation that forest training takes
+"less than two minutes for every iteration".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating named laps.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t.lap("fit"):
+    ...     pass
+    >>> t.total("fit") >= 0.0
+    True
+    """
+
+    laps: Dict[str, List[float]] = field(default_factory=dict)
+    _start: Optional[float] = None
+    _label: Optional[str] = None
+
+    def lap(self, label: str) -> "Timer":
+        """Return a context manager recording one lap under ``label``."""
+        self._label = label
+        return self
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None and self._label is not None
+        elapsed = time.perf_counter() - self._start
+        self.laps.setdefault(self._label, []).append(elapsed)
+        self._start = None
+        self._label = None
+
+    def total(self, label: str) -> float:
+        """Total accumulated seconds for ``label`` (0.0 if never recorded)."""
+        return float(sum(self.laps.get(label, []))) if self.laps.get(label) else 0.0
+
+    def count(self, label: str) -> int:
+        """Number of laps recorded under ``label``."""
+        return len(self.laps.get(label, []))
+
+    def mean(self, label: str) -> float:
+        """Mean lap duration for ``label`` (0.0 if never recorded)."""
+        laps = self.laps.get(label, [])
+        return float(sum(laps) / len(laps)) if laps else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Mapping of label to total accumulated seconds."""
+        return {k: float(sum(v)) for k, v in self.laps.items()}
+
+
+__all__ = ["Timer"]

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+A single tiny synthetic dataset and pre-built runners are shared across tests
+(session scope) because rendering frames is the most expensive part of any
+SLAM test; all pipeline tests run on a handful of low-resolution frames.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Allow running the tests without installing the package (src layout).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.slam.dataset import make_icl_nuim_like_dataset  # noqa: E402
+from repro.slambench.runner import SlamBenchRunner  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 12-frame, 40x30 synthetic living-room sequence (pre-rendered)."""
+    ds = make_icl_nuim_like_dataset(n_frames=12, width=40, height=30, seed=3)
+    ds.prerender()
+    return ds
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 20-frame, 48x36 synthetic sequence for integration-style tests."""
+    ds = make_icl_nuim_like_dataset(n_frames=20, width=48, height=36, seed=5)
+    ds.prerender()
+    return ds
+
+
+@pytest.fixture(scope="session")
+def kfusion_runner(small_dataset):
+    """A KFusion SLAMBench runner bound to the shared small dataset."""
+    return SlamBenchRunner("kfusion", n_frames=len(small_dataset), dataset=small_dataset)
+
+
+@pytest.fixture(scope="session")
+def elasticfusion_runner(small_dataset):
+    """An ElasticFusion SLAMBench runner bound to the shared small dataset."""
+    return SlamBenchRunner(
+        "elasticfusion",
+        n_frames=len(small_dataset),
+        dataset=small_dataset,
+        elasticfusion_kwargs={"fusion_stride": 2},
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A seeded NumPy generator for per-test randomness."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,138 @@
+"""Tests for objective sets, evaluation history and constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import BoundConstraint, Constraint, ConstraintSet
+from repro.core.history import History
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.space import Configuration
+
+
+@pytest.fixture()
+def objectives():
+    return ObjectiveSet(
+        [
+            Objective("error", minimize=True, unit="m", limit=0.05),
+            Objective("runtime", minimize=True, unit="s"),
+        ]
+    )
+
+
+def _config(i):
+    return Configuration(["x"], [i])
+
+
+class TestObjectiveSet:
+    def test_names_and_index(self, objectives):
+        assert objectives.names == ["error", "runtime"]
+        assert objectives.index("runtime") == 1
+        with pytest.raises(KeyError):
+            objectives.index("power")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveSet([Objective("a"), Objective("a")])
+
+    def test_canonical_conversion_handles_maximize(self):
+        objs = ObjectiveSet([Objective("fps", minimize=False), Objective("error")])
+        values = np.array([[30.0, 0.02]])
+        canonical = objs.to_canonical(values)
+        assert canonical[0, 0] == -30.0 and canonical[0, 1] == 0.02
+        assert np.allclose(objs.from_canonical(canonical), values)
+
+    def test_feasibility_mask(self, objectives):
+        values = np.array([[0.04, 1.0], [0.06, 0.5]])
+        assert objectives.feasibility_mask(values).tolist() == [True, False]
+
+    def test_matrix_dict_roundtrip(self, objectives):
+        records = [{"error": 0.01, "runtime": 0.2}, {"error": 0.03, "runtime": 0.1}]
+        mat = objectives.to_matrix(records)
+        assert mat.shape == (2, 2)
+        assert objectives.to_dicts(mat) == [
+            {"error": 0.01, "runtime": 0.2},
+            {"error": 0.03, "runtime": 0.1},
+        ]
+
+    def test_objective_feasible_limits(self):
+        o_min = Objective("e", minimize=True, limit=1.0)
+        assert o_min.is_feasible(0.5) and not o_min.is_feasible(1.5)
+        o_max = Objective("fps", minimize=False, limit=30.0)
+        assert o_max.is_feasible(45.0) and not o_max.is_feasible(10.0)
+
+
+class TestHistory:
+    def test_add_and_matrices(self, objectives):
+        h = History(objectives)
+        h.add(_config(1), {"error": 0.01, "runtime": 0.3}, source="random")
+        h.add(_config(2), {"error": 0.03, "runtime": 0.1}, source="active_learning", iteration=1)
+        h.add(_config(3), {"error": 0.10, "runtime": 0.05}, source="active_learning", iteration=2)
+        assert len(h) == 3
+        assert h.objective_matrix().shape == (3, 2)
+        assert h.n_feasible() == 2  # the 0.10 error exceeds the 5 cm limit
+
+    def test_pareto_records_feasible_only(self, objectives):
+        h = History(objectives)
+        h.add(_config(1), {"error": 0.01, "runtime": 0.3})
+        h.add(_config(2), {"error": 0.03, "runtime": 0.1})
+        h.add(_config(3), {"error": 0.10, "runtime": 0.01})  # infeasible but fast
+        pareto = h.pareto_records(feasible_only=True)
+        assert {r.config["x"] for r in pareto} == {1, 2}
+        pareto_all = h.pareto_records(feasible_only=False)
+        assert {r.config["x"] for r in pareto_all} == {1, 2, 3}
+
+    def test_pareto_falls_back_when_nothing_feasible(self, objectives):
+        h = History(objectives)
+        h.add(_config(1), {"error": 0.2, "runtime": 0.3})
+        h.add(_config(2), {"error": 0.3, "runtime": 0.1})
+        assert len(h.pareto_records(feasible_only=True)) == 2
+
+    def test_best_by(self, objectives):
+        h = History(objectives)
+        h.add(_config(1), {"error": 0.01, "runtime": 0.3})
+        h.add(_config(2), {"error": 0.04, "runtime": 0.1})
+        assert h.best_by("runtime").config["x"] == 2
+        assert h.best_by("error").config["x"] == 1
+
+    def test_filter_by_source_and_iteration(self, objectives):
+        h = History(objectives)
+        h.add(_config(1), {"error": 0.01, "runtime": 0.3}, source="random", iteration=0)
+        h.add(_config(2), {"error": 0.02, "runtime": 0.2}, source="active_learning", iteration=1)
+        h.add(_config(3), {"error": 0.03, "runtime": 0.1}, source="active_learning", iteration=2)
+        assert len(h.filter(source="random")) == 1
+        assert len(h.filter(source="active_learning", max_iteration=1)) == 1
+
+    def test_summary_and_serialization(self, objectives):
+        h = History(objectives)
+        h.add(_config(1), {"error": 0.01, "runtime": 0.3, "power": 2.0})
+        summary = h.summary()
+        assert summary["n_evaluations"] == 1
+        dicts = h.to_dicts()
+        assert dicts[0]["metrics"]["power"] == 2.0
+
+
+class TestConstraints:
+    def test_bound_constraint(self):
+        c = BoundConstraint("ate", upper=0.05)
+        assert c.is_satisfied({}, {"ate": 0.03})
+        assert not c.is_satisfied({}, {"ate": 0.08})
+        assert c.is_satisfied({}, None)  # cannot be checked before evaluation
+
+    def test_bound_requires_some_bound(self):
+        with pytest.raises(ValueError):
+            BoundConstraint("ate")
+
+    def test_configuration_constraint(self):
+        c = Constraint("no-tiny-volume", lambda cfg, m: cfg["res"] >= 128)
+        assert c.is_satisfied({"res": 256})
+        assert not c.is_satisfied({"res": 64})
+
+    def test_constraint_set_mask(self):
+        cs = ConstraintSet([
+            BoundConstraint("ate", upper=0.05),
+            Constraint("flag", lambda cfg, m: bool(cfg["ok"])),
+        ])
+        configs = [{"ok": True}, {"ok": True}, {"ok": False}]
+        metrics = [{"ate": 0.01}, {"ate": 0.9}, {"ate": 0.01}]
+        assert cs.mask(configs, metrics).tolist() == [True, False, False]
+        assert len(cs) == 2 and len(cs.names()) == 2

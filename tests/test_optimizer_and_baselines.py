@@ -1,0 +1,257 @@
+"""Tests for the evaluator layer, surrogate, HyperMapper optimizer and baselines.
+
+A cheap synthetic bi-objective black box (no SLAM simulation) keeps these
+fast while still exercising the full Algorithm 1 loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import BanditSearch, EvolutionarySearch, GridSearch, LocalSearch, RandomSearch
+from repro.core.evaluator import (
+    CachedEvaluator,
+    EvaluationBudgetExceeded,
+    FunctionEvaluator,
+    ParallelEvaluator,
+)
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.optimizer import HyperMapper
+from repro.core.parameters import BooleanParameter, OrdinalParameter, RealParameter
+from repro.core.sampling import GridSampler, LatinHypercubeSampler, RandomSampler, build_pool
+from repro.core.space import DesignSpace
+from repro.core.surrogate import MultiObjectiveSurrogate
+
+
+@pytest.fixture()
+def toy_space():
+    return DesignSpace(
+        [
+            OrdinalParameter("a", [1, 2, 4, 8], default=1),
+            OrdinalParameter("b", [0.1, 0.2, 0.4, 0.8], default=0.1),
+            BooleanParameter("fast", default=False),
+        ],
+        name="toy",
+    )
+
+
+@pytest.fixture()
+def toy_objectives():
+    return ObjectiveSet([Objective("error", limit=0.6), Objective("runtime")])
+
+
+def toy_evaluate(config):
+    """A conflicting bi-objective function: bigger `a` is faster but less accurate."""
+    a, b, fast = float(config["a"]), float(config["b"]), bool(config["fast"])
+    error = 0.05 * a + 0.3 * b + (0.25 if fast else 0.0)
+    runtime = 1.0 / a + 0.5 * b + (0.0 if fast else 0.2)
+    return {"error": error, "runtime": runtime}
+
+
+class TestEvaluators:
+    def test_function_evaluator_counts_and_budget(self, toy_space, toy_objectives):
+        ev = FunctionEvaluator(toy_evaluate, toy_objectives, max_evaluations=3)
+        configs = toy_space.sample(3, rng=0)
+        results = ev.evaluate(configs)
+        assert len(results) == 3 and ev.n_evaluations == 3
+        with pytest.raises(EvaluationBudgetExceeded):
+            ev.evaluate(toy_space.sample(1, rng=1))
+
+    def test_missing_objective_detected(self, toy_space, toy_objectives):
+        ev = FunctionEvaluator(lambda c: {"error": 1.0}, toy_objectives)
+        with pytest.raises(KeyError):
+            ev.evaluate(toy_space.sample(1, rng=0))
+
+    def test_cached_evaluator_deduplicates(self, toy_space, toy_objectives):
+        calls = []
+
+        def counting(config):
+            calls.append(config)
+            return toy_evaluate(config)
+
+        cached = CachedEvaluator(FunctionEvaluator(counting, toy_objectives))
+        config = toy_space.sample(1, rng=0)[0]
+        r1 = cached.evaluate([config, config])
+        r2 = cached.evaluate([config])
+        assert len(calls) == 1
+        assert r1[0] == r1[1] == r2[0]
+        assert cached.is_cached(config) and cached.cache_size == 1
+
+    def test_parallel_evaluator_matches_serial(self, toy_space, toy_objectives):
+        configs = toy_space.sample(8, rng=2)
+        serial = [toy_evaluate(c) for c in configs]
+        parallel = ParallelEvaluator(toy_evaluate, toy_objectives, n_workers=4).evaluate(configs)
+        for s, p in zip(serial, parallel):
+            assert s == pytest.approx(p)
+
+
+class TestSamplers:
+    def test_random_sampler_distinct(self, toy_space):
+        configs = RandomSampler(toy_space).sample(10, rng=0)
+        assert len(set(configs)) == 10
+
+    def test_latin_hypercube_covers_values(self, toy_space):
+        configs = LatinHypercubeSampler(toy_space).sample(16, rng=0)
+        assert len(configs) == 16
+        seen_a = {c["a"] for c in configs}
+        assert seen_a == {1, 2, 4, 8}  # every level appears at least once
+
+    def test_grid_sampler_levels(self, toy_space):
+        sampler = GridSampler(toy_space, levels=2)
+        grid = sampler.full_grid()
+        assert len(grid) == 2 * 2 * 2
+        assert len(sampler.sample(3, rng=0)) == 3
+
+    def test_build_pool_enumerates_small_space(self, toy_space):
+        pool = build_pool(toy_space, pool_size=None, rng=0)
+        assert len(pool) == toy_space.cardinality
+
+    def test_build_pool_includes_requested(self, toy_space):
+        default = toy_space.default_configuration()
+        pool = build_pool(toy_space, pool_size=5, rng=0, include=[default])
+        assert default in pool
+
+
+class TestSurrogate:
+    def test_fit_predict_shapes(self, toy_space, toy_objectives):
+        configs = toy_space.sample(24, rng=0)
+        metrics = [toy_evaluate(c) for c in configs]
+        surrogate = MultiObjectiveSurrogate(toy_space, toy_objectives, n_estimators=8, random_state=0)
+        surrogate.fit(configs, metrics)
+        pred = surrogate.predict(configs[:5])
+        assert pred.shape == (5, 2)
+        mean, std = surrogate.predict_with_std(configs[:5])
+        assert std.shape == (5, 2) and np.all(std >= 0)
+
+    def test_predictions_correlate_with_truth(self, toy_space, toy_objectives):
+        configs = toy_space.enumerate()
+        metrics = [toy_evaluate(c) for c in configs]
+        surrogate = MultiObjectiveSurrogate(toy_space, toy_objectives, n_estimators=16, random_state=1)
+        surrogate.fit(configs, metrics)
+        pred = surrogate.predict(configs)
+        truth = np.array([[m["error"], m["runtime"]] for m in metrics])
+        for j in range(2):
+            corr = np.corrcoef(pred[:, j], truth[:, j])[0, 1]
+            assert corr > 0.9
+
+    def test_predicted_pareto_subset_of_pool(self, toy_space, toy_objectives):
+        configs = toy_space.sample(20, rng=2)
+        metrics = [toy_evaluate(c) for c in configs]
+        surrogate = MultiObjectiveSurrogate(toy_space, toy_objectives, n_estimators=8, random_state=2)
+        surrogate.fit(configs, metrics)
+        pool = toy_space.enumerate()
+        front_configs, front_values = surrogate.predicted_pareto(pool)
+        assert 0 < len(front_configs) <= len(pool)
+        assert front_values.shape == (len(front_configs), 2)
+        assert all(c in set(pool) for c in front_configs)
+
+    def test_log_objective_transform(self, toy_space, toy_objectives):
+        configs = toy_space.sample(16, rng=3)
+        metrics = [toy_evaluate(c) for c in configs]
+        surrogate = MultiObjectiveSurrogate(
+            toy_space, toy_objectives, n_estimators=8, random_state=3, log_objectives=["runtime"]
+        )
+        surrogate.fit(configs, metrics)
+        pred = surrogate.predict(configs)
+        assert np.all(pred[:, 1] > 0)
+
+    def test_feature_importances_keys(self, toy_space, toy_objectives):
+        configs = toy_space.sample(20, rng=4)
+        surrogate = MultiObjectiveSurrogate(toy_space, toy_objectives, n_estimators=8, random_state=4)
+        surrogate.fit(configs, [toy_evaluate(c) for c in configs])
+        imps = surrogate.feature_importances()
+        assert set(imps.keys()) == {"error", "runtime"}
+        assert set(imps["error"].keys()) == set(toy_space.feature_names)
+
+
+class TestHyperMapper:
+    def test_runs_and_finds_pareto(self, toy_space, toy_objectives):
+        hm = HyperMapper(
+            toy_space,
+            toy_objectives,
+            toy_evaluate,
+            n_random_samples=12,
+            max_iterations=3,
+            pool_size=None,
+            seed=0,
+        )
+        result = hm.run()
+        assert len(result.history) >= 12
+        assert len(result.pareto) >= 1
+        assert result.pareto_matrix().shape[1] == 2
+        # Every Pareto point must be feasible (error <= 0.6).
+        for record in result.pareto:
+            assert record.metrics["error"] <= 0.6 + 1e-9
+
+    def test_active_learning_adds_samples(self, toy_space, toy_objectives):
+        hm = HyperMapper(toy_space, toy_objectives, toy_evaluate, n_random_samples=8, max_iterations=3, pool_size=None, seed=1)
+        result = hm.run()
+        sources = {r.source for r in result.history}
+        assert "random" in sources
+        assert any(r.n_new_samples > 0 for r in result.iterations)
+
+    def test_deterministic_given_seed(self, toy_space, toy_objectives):
+        kwargs = dict(n_random_samples=10, max_iterations=2, pool_size=None, seed=99)
+        r1 = HyperMapper(toy_space, toy_objectives, toy_evaluate, **kwargs).run()
+        r2 = HyperMapper(toy_space, toy_objectives, toy_evaluate, **kwargs).run()
+        assert [rec.config for rec in r1.history] == [rec.config for rec in r2.history]
+
+    def test_result_helpers(self, toy_space, toy_objectives):
+        hm = HyperMapper(toy_space, toy_objectives, toy_evaluate, n_random_samples=10, max_iterations=2, pool_size=None, seed=2)
+        result = hm.run()
+        best_rt = result.best_by("runtime")
+        assert best_rt is not None
+        assert best_rt.metrics["runtime"] == min(r.metrics["runtime"] for r in result.pareto)
+        assert result.hypervolume([1.0, 2.0]) >= 0.0
+        summary = result.summary()
+        assert summary["n_evaluations"] == len(result.history)
+
+    def test_warm_start_from_history(self, toy_space, toy_objectives):
+        hm1 = HyperMapper(toy_space, toy_objectives, toy_evaluate, n_random_samples=8, max_iterations=1, pool_size=None, seed=3)
+        r1 = hm1.run()
+        hm2 = HyperMapper(toy_space, toy_objectives, toy_evaluate, n_random_samples=8, max_iterations=1, pool_size=None, seed=3)
+        r2 = hm2.run(initial_history=r1.history)
+        assert len(r2.history) >= len(r1.history)
+
+    def test_invalid_arguments(self, toy_space, toy_objectives):
+        with pytest.raises(ValueError):
+            HyperMapper(toy_space, toy_objectives, toy_evaluate, n_random_samples=0)
+        with pytest.raises(ValueError):
+            HyperMapper(toy_space, toy_objectives, toy_evaluate, max_iterations=-1)
+
+
+class TestBaselines:
+    def test_random_search(self, toy_space, toy_objectives):
+        result = RandomSearch(toy_space, toy_objectives, toy_evaluate, seed=0).run(20)
+        assert len(result.history) == 20
+        assert len(result.pareto) >= 1
+
+    def test_grid_search(self, toy_space, toy_objectives):
+        result = GridSearch(toy_space, toy_objectives, toy_evaluate, levels=2, seed=0).run()
+        assert len(result.history) == 8
+
+    def test_local_search_improves_scalarized_objective(self, toy_space, toy_objectives):
+        result = LocalSearch(toy_space, toy_objectives, toy_evaluate, n_restarts=2, seed=0).run(24)
+        assert 2 <= len(result.history) <= 24
+
+    def test_evolutionary_search_budget(self, toy_space, toy_objectives):
+        result = EvolutionarySearch(toy_space, toy_objectives, toy_evaluate, population_size=6, seed=0).run(30)
+        assert len(result.history) <= 30
+        assert len(result.pareto) >= 1
+
+    def test_bandit_search_budget(self, toy_space, toy_objectives):
+        result = BanditSearch(toy_space, toy_objectives, toy_evaluate, seed=0).run(24, batch_size=6)
+        assert len(result.history) <= 24
+        assert len(result.pareto) >= 1
+
+    def test_hypermapper_competitive_with_random(self, toy_space, toy_objectives):
+        """At equal budget HyperMapper's front should not be worse than random's."""
+        from repro.core.pareto import hypervolume_2d
+
+        budget = 28
+        hm = HyperMapper(toy_space, toy_objectives, toy_evaluate, n_random_samples=14, max_iterations=3, max_samples_per_iteration=5, pool_size=None, seed=5)
+        hm_result = hm.run()
+        rnd = RandomSearch(toy_space, toy_objectives, toy_evaluate, seed=5).run(budget)
+        ref = np.array([2.0, 2.0])
+        hv_hm = hypervolume_2d(toy_objectives.to_canonical(hm_result.pareto_matrix()), ref)
+        hv_rnd = hypervolume_2d(toy_objectives.to_canonical(rnd.pareto_matrix()), ref)
+        assert hv_hm >= hv_rnd * 0.95

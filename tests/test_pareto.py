@@ -1,0 +1,163 @@
+"""Unit and property-based tests for the Pareto utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.pareto import (
+    crowding_distance,
+    dominates,
+    front_coverage,
+    hypervolume_2d,
+    nearest_front_distance,
+    non_dominated_sort,
+    pareto_front,
+    pareto_mask,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1, 1], [2, 2])
+        assert dominates([1, 2], [2, 2])
+        assert not dominates([2, 2], [1, 1])
+        assert not dominates([1, 3], [2, 2])
+
+    def test_equal_points_do_not_strictly_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+        assert dominates([1, 1], [1, 1], strict=False)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([1, 2], [1, 2, 3])
+
+
+class TestParetoMask:
+    def test_simple_front(self):
+        values = np.array([[1, 5], [2, 3], [3, 4], [4, 1], [5, 5]])
+        mask = pareto_mask(values)
+        assert mask.tolist() == [True, True, False, True, False]
+
+    def test_single_objective(self):
+        values = np.array([[3.0], [1.0], [2.0], [1.0]])
+        assert pareto_mask(values).tolist() == [False, True, False, True]
+
+    def test_duplicates_all_kept(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert pareto_mask(values).tolist() == [True, True, False]
+
+    def test_empty(self):
+        assert pareto_mask(np.empty((0, 2))).size == 0
+
+    def test_three_objectives(self):
+        values = np.array([[1, 2, 3], [3, 2, 1], [2, 2, 2], [3, 3, 3]])
+        mask = pareto_mask(values)
+        assert mask.tolist() == [True, True, True, False]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 40), st.integers(2, 3)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    def test_front_members_are_never_dominated(self, values):
+        mask = pareto_mask(values)
+        assert mask.any()  # at least one non-dominated point always exists
+        front_idx = np.flatnonzero(mask)
+        dominated_idx = np.flatnonzero(~mask)
+        # No front point is dominated by any other point.
+        for i in front_idx:
+            for j in range(values.shape[0]):
+                if j == i:
+                    continue
+                assert not dominates(values[j], values[i])
+        # Every dominated point is dominated by some front point.
+        for i in dominated_idx:
+            assert any(dominates(values[j], values[i]) for j in front_idx)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 30), st.just(2)),
+            elements=st.floats(0, 50, allow_nan=False),
+        )
+    )
+    def test_2d_sweep_matches_generic(self, values):
+        from repro.core.pareto import _pareto_mask_2d, _pareto_mask_nd
+
+        assert np.array_equal(_pareto_mask_2d(values), _pareto_mask_nd(values))
+
+
+class TestParetoFront:
+    def test_sorted_by_first_objective(self):
+        values = np.array([[3, 1], [1, 3], [2, 2]])
+        front = pareto_front(values)
+        assert np.all(np.diff(front[:, 0]) >= 0)
+
+    def test_return_indices(self):
+        values = np.array([[3, 1], [1, 3], [2, 2], [4, 4]])
+        front, idx = pareto_front(values, return_indices=True)
+        assert np.allclose(values[idx], front)
+
+
+class TestNonDominatedSortAndCrowding:
+    def test_ranks(self):
+        values = np.array([[1, 1], [2, 2], [3, 3]])
+        assert non_dominated_sort(values).tolist() == [0, 1, 2]
+
+    def test_crowding_boundary_infinite(self):
+        values = np.array([[1, 4], [2, 3], [3, 2], [4, 1]])
+        crowd = crowding_distance(values)
+        assert np.isinf(crowd[0]) and np.isinf(crowd[-1])
+        assert np.all(crowd[1:-1] > 0)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d(np.array([[1.0, 1.0]]), reference=[2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_two_points(self):
+        values = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert hypervolume_2d(values, reference=[3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_points_beyond_reference_ignored(self):
+        values = np.array([[5.0, 5.0]])
+        assert hypervolume_2d(values, reference=[2.0, 2.0]) == 0.0
+
+    def test_monotone_in_points(self):
+        base = np.array([[1.0, 2.0]])
+        more = np.array([[1.0, 2.0], [0.5, 2.5]])
+        ref = [3.0, 3.0]
+        assert hypervolume_2d(more, ref) >= hypervolume_2d(base, ref)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 20), st.just(2)),
+            elements=st.floats(0, 1, allow_nan=False),
+        )
+    )
+    def test_bounded_by_reference_box(self, values):
+        hv = hypervolume_2d(values, reference=[1.0, 1.0])
+        assert 0.0 <= hv <= 1.0 + 1e-9
+
+
+class TestCoverageAndDistance:
+    def test_front_coverage(self):
+        a = np.array([[1.0, 1.0]])
+        b = np.array([[2.0, 2.0], [0.5, 0.5]])
+        assert front_coverage(a, b) == pytest.approx(0.5)
+
+    def test_nearest_front_distance(self):
+        front = np.array([[0.0, 0.0], [1.0, 1.0]])
+        d = nearest_front_distance(np.array([[0.0, 1.0]]), front)
+        assert d[0] == pytest.approx(1.0)
+
+    def test_empty_front_gives_inf(self):
+        d = nearest_front_distance(np.array([[0.0, 1.0]]), np.empty((0, 2)))
+        assert np.isinf(d[0])

@@ -1,0 +1,154 @@
+"""Integration tests of the KinectFusion and ElasticFusion pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.slam.elasticfusion import ElasticFusion, ElasticFusionConfig
+from repro.slam.kfusion import KFusionConfig, KinectFusion
+
+
+class TestKFusionConfig:
+    def test_defaults_match_slambench(self):
+        cfg = KFusionConfig()
+        assert cfg.volume_resolution == 256
+        assert cfg.mu == 0.1
+        assert cfg.pyramid_iterations == (10, 5, 4)
+        assert cfg.compute_size_ratio == 1
+        assert cfg.integration_rate == 2
+
+    def test_from_mapping_flat_pyramid_fields(self):
+        cfg = KFusionConfig.from_mapping(
+            {
+                "volume_resolution": 64,
+                "mu": 0.2,
+                "pyramid_iterations_0": 4,
+                "pyramid_iterations_1": 3,
+                "pyramid_iterations_2": 2,
+                "compute_size_ratio": 2,
+                "tracking_rate": 1,
+                "icp_threshold": 1e-4,
+                "integration_rate": 3,
+            }
+        )
+        assert cfg.pyramid_iterations == (4, 3, 2)
+        assert cfg.volume_resolution == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KFusionConfig(volume_resolution=4)
+        with pytest.raises(ValueError):
+            KFusionConfig(mu=-1)
+        with pytest.raises(ValueError):
+            KFusionConfig(compute_size_ratio=0)
+
+    def test_roundtrip_dict(self):
+        cfg = KFusionConfig(volume_resolution=128)
+        assert KFusionConfig.from_mapping(cfg.to_dict()) == cfg
+
+
+class TestKinectFusionPipeline:
+    def test_default_config_tracks_accurately(self, small_dataset):
+        pipeline = KinectFusion(KFusionConfig(), map_backend="analytic", seed=0)
+        result = pipeline.run(small_dataset)
+        ate = result.ate()
+        assert ate.max < 0.03, "default configuration should stay well within 3 cm"
+        assert result.n_tracking_failures == 0
+        assert result.n_integrations == int(np.ceil(len(small_dataset) / 2))
+
+    def test_disabling_tracking_diverges(self, small_dataset):
+        cfg = KFusionConfig(pyramid_iterations=(0, 0, 0) if False else (2, 0, 0), tracking_rate=5, compute_size_ratio=8, mu=0.025)
+        pipeline = KinectFusion(cfg, map_backend="analytic", seed=0)
+        good = KinectFusion(KFusionConfig(), map_backend="analytic", seed=0).run(small_dataset)
+        bad = pipeline.run(small_dataset)
+        assert bad.ate().max > good.ate().max
+
+    def test_lower_resolution_less_accurate(self, small_dataset):
+        fine = KinectFusion(KFusionConfig(volume_resolution=256), map_backend="analytic", seed=0).run(small_dataset)
+        coarse = KinectFusion(KFusionConfig(volume_resolution=64), map_backend="analytic", seed=0).run(small_dataset)
+        assert coarse.ate().mean > fine.ate().mean
+
+    def test_tracking_rate_reduces_icp_work(self, small_dataset):
+        every = KinectFusion(KFusionConfig(tracking_rate=1), map_backend="analytic", seed=0).run(small_dataset)
+        sparse = KinectFusion(KFusionConfig(tracking_rate=3), map_backend="analytic", seed=0).run(small_dataset)
+        assert sparse.total("icp_iterations") < every.total("icp_iterations")
+        assert sparse.ate().mean >= every.ate().mean * 0.5  # sanity: still bounded
+
+    def test_integration_rate_counts(self, small_dataset):
+        result = KinectFusion(KFusionConfig(integration_rate=4), map_backend="analytic", seed=0).run(small_dataset)
+        expected = int(np.ceil(len(small_dataset) / 4))
+        assert result.n_integrations == expected
+
+    def test_deterministic(self, small_dataset):
+        r1 = KinectFusion(KFusionConfig(), map_backend="analytic", seed=3).run(small_dataset)
+        r2 = KinectFusion(KFusionConfig(), map_backend="analytic", seed=3).run(small_dataset)
+        assert np.allclose(r1.estimated.positions(), r2.estimated.positions())
+
+    def test_tsdf_backend_runs(self, tiny_dataset):
+        cfg = KFusionConfig(volume_resolution=48, mu=0.3)
+        result = KinectFusion(cfg, map_backend="tsdf", seed=0).run(tiny_dataset, n_frames=6)
+        assert result.n_frames == 6
+        assert result.ate().max < 0.25
+
+    def test_summary_keys(self, small_dataset):
+        result = KinectFusion(KFusionConfig(), map_backend="analytic", seed=0).run(small_dataset, n_frames=5)
+        summary = result.summary()
+        for key in ("mean_ate_m", "max_ate_m", "tracking_failures", "integrations"):
+            assert key in summary
+
+
+class TestElasticFusionConfig:
+    def test_defaults_match_table1_default_row(self):
+        cfg = ElasticFusionConfig()
+        assert cfg.icp_rgb_weight == 10.0
+        assert cfg.depth_cutoff == 3.0
+        assert cfg.confidence_threshold == 10.0
+        assert cfg.so3_prealignment is True
+        assert cfg.open_loop is False
+        assert cfg.relocalisation is True
+        assert cfg.fast_odometry is False
+        assert cfg.frame_to_frame_rgb is False
+
+    def test_from_mapping_ignores_unknown(self):
+        cfg = ElasticFusionConfig.from_mapping({"icp_rgb_weight": 5, "open_loop": 1, "bogus": 3})
+        assert cfg.icp_rgb_weight == 5
+        assert cfg.open_loop is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticFusionConfig(depth_cutoff=0)
+        with pytest.raises(ValueError):
+            ElasticFusionConfig(icp_rgb_weight=-1)
+
+
+class TestElasticFusionPipeline:
+    def test_default_config_reasonable_accuracy(self, small_dataset):
+        result = ElasticFusion(ElasticFusionConfig(), seed=0, fusion_stride=2).run(small_dataset)
+        ate = result.ate()
+        assert ate.mean < 0.10
+        assert result.frames[-1].n_surfels > 0
+        assert all(f.integrated for f in result.frames)
+
+    def test_depth_cutoff_limits_tracking_points(self, small_dataset):
+        near = ElasticFusion(ElasticFusionConfig(depth_cutoff=1.2), seed=0, fusion_stride=2).run(small_dataset, n_frames=8)
+        far = ElasticFusion(ElasticFusionConfig(depth_cutoff=8.0), seed=0, fusion_stride=2).run(small_dataset, n_frames=8)
+        assert near.mean("n_tracking_points") < far.mean("n_tracking_points")
+
+    def test_fast_odometry_reduces_rgb_iterations(self, small_dataset):
+        normal = ElasticFusion(ElasticFusionConfig(), seed=0, fusion_stride=2).run(small_dataset, n_frames=10)
+        fast = ElasticFusion(ElasticFusionConfig(fast_odometry=True), seed=0, fusion_stride=2).run(small_dataset, n_frames=10)
+        assert fast.total("rgb_iterations") < normal.total("rgb_iterations")
+
+    def test_so3_flag_recorded(self, small_dataset):
+        with_so3 = ElasticFusion(ElasticFusionConfig(so3_prealignment=True), seed=0, fusion_stride=2).run(small_dataset, n_frames=6)
+        without = ElasticFusion(ElasticFusionConfig(so3_prealignment=False), seed=0, fusion_stride=2).run(small_dataset, n_frames=6)
+        assert any(f.so3_used for f in with_so3.frames[1:])
+        assert not any(f.so3_used for f in without.frames)
+
+    def test_open_loop_still_tracks(self, small_dataset):
+        result = ElasticFusion(ElasticFusionConfig(open_loop=True), seed=0, fusion_stride=2).run(small_dataset)
+        assert result.ate().mean < 0.15
+
+    def test_deterministic(self, small_dataset):
+        r1 = ElasticFusion(ElasticFusionConfig(), seed=1, fusion_stride=2).run(small_dataset, n_frames=8)
+        r2 = ElasticFusion(ElasticFusionConfig(), seed=1, fusion_stride=2).run(small_dataset, n_frames=8)
+        assert np.allclose(r1.estimated.positions(), r2.estimated.positions())

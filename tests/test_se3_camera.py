@@ -1,0 +1,132 @@
+"""Tests for SE(3) geometry and the pinhole camera model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.slam import se3
+from repro.slam.camera import CameraIntrinsics
+
+finite_small = st.floats(-1.5, 1.5, allow_nan=False)
+
+
+class TestSO3SE3:
+    def test_exp_log_so3_roundtrip(self):
+        w = np.array([0.3, -0.2, 0.5])
+        R = se3.exp_so3(w)
+        assert se3.is_rotation_matrix(R)
+        assert np.allclose(se3.log_so3(R), w, atol=1e-9)
+
+    def test_exp_so3_zero(self):
+        assert np.allclose(se3.exp_so3(np.zeros(3)), np.eye(3))
+
+    def test_exp_log_se3_roundtrip(self):
+        xi = np.array([0.1, -0.2, 0.3, 0.2, 0.1, -0.3])
+        T = se3.exp_se3(xi)
+        assert np.allclose(se3.log_se3(T), xi, atol=1e-9)
+
+    def test_invert(self):
+        rng = np.random.default_rng(0)
+        T = se3.random_pose(rng)
+        assert np.allclose(T @ se3.invert(T), np.eye(4), atol=1e-12)
+
+    def test_transform_points_matches_matrix(self):
+        rng = np.random.default_rng(1)
+        T = se3.random_pose(rng)
+        pts = rng.normal(size=(10, 3))
+        homo = np.concatenate([pts, np.ones((10, 1))], axis=1)
+        expected = (T @ homo.T).T[:, :3]
+        assert np.allclose(se3.transform_points(T, pts), expected)
+
+    def test_rotation_angle(self):
+        R = se3.exp_so3(np.array([0.0, 0.0, 0.7]))
+        assert se3.rotation_angle(R) == pytest.approx(0.7)
+
+    def test_interpolate_pose_endpoints(self):
+        rng = np.random.default_rng(2)
+        T_a, T_b = se3.random_pose(rng), se3.random_pose(rng)
+        assert np.allclose(se3.interpolate_pose(T_a, T_b, 0.0), T_a, atol=1e-9)
+        assert np.allclose(se3.interpolate_pose(T_a, T_b, 1.0), T_b, atol=1e-9)
+
+    def test_look_at_points_camera_at_target(self):
+        eye = np.array([1.0, -0.2, 0.5])
+        target = np.array([0.0, 0.3, 0.0])
+        T = se3.look_at(eye, target)
+        assert se3.is_rotation_matrix(T[:3, :3])
+        assert np.allclose(T[:3, 3], eye)
+        # The camera z axis points from eye towards target.
+        z_axis = T[:3, 2]
+        direction = (target - eye) / np.linalg.norm(target - eye)
+        assert np.allclose(z_axis, direction, atol=1e-9)
+
+    def test_look_at_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            se3.look_at([1, 1, 1], [1, 1, 1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.tuples(finite_small, finite_small, finite_small))
+    def test_exp_so3_is_rotation_property(self, w):
+        R = se3.exp_so3(np.array(w))
+        assert se3.is_rotation_matrix(R, tol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(finite_small, min_size=6, max_size=6))
+    def test_exp_se3_preserves_distances(self, xi):
+        T = se3.exp_se3(np.array(xi))
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(5, 3))
+        transformed = se3.transform_points(T, pts)
+        d_before = np.linalg.norm(pts[0] - pts[1])
+        d_after = np.linalg.norm(transformed[0] - transformed[1])
+        assert d_after == pytest.approx(d_before, rel=1e-9)
+
+
+class TestCameraIntrinsics:
+    def test_kinect_like(self):
+        cam = CameraIntrinsics.kinect_like(640, 480)
+        assert cam.n_pixels == 640 * 480
+        assert cam.matrix.shape == (3, 3)
+
+    def test_scaled_matches_block_downsample(self):
+        cam = CameraIntrinsics.kinect_like(81, 61)
+        half = cam.scaled(2)
+        assert (half.height, half.width) == (30, 40)
+
+    def test_backproject_project_roundtrip(self):
+        cam = CameraIntrinsics.kinect_like(64, 48)
+        depth = np.full((48, 64), 2.0)
+        vertices = cam.backproject(depth)
+        u, v, valid = cam.project(vertices)
+        uu, vv = cam.pixel_grid()
+        assert valid.all()
+        assert np.allclose(u, uu, atol=1e-6)
+        assert np.allclose(v, vv, atol=1e-6)
+
+    def test_backproject_invalid_pixels_zero(self):
+        cam = CameraIntrinsics.kinect_like(16, 12)
+        depth = np.zeros((12, 16))
+        depth[5, 5] = 1.5
+        vertices = cam.backproject(depth)
+        assert np.count_nonzero(vertices[..., 2]) == 1
+
+    def test_project_behind_camera_invalid(self):
+        cam = CameraIntrinsics.kinect_like(16, 12)
+        pts = np.array([[0.0, 0.0, -1.0], [0.0, 0.0, 1.0]])
+        _, _, valid = cam.project(pts)
+        assert valid.tolist() == [False, True]
+
+    def test_ray_directions_unit_norm(self):
+        cam = CameraIntrinsics.kinect_like(32, 24)
+        dirs = cam.ray_directions()
+        assert np.allclose(np.linalg.norm(dirs, axis=-1), 1.0)
+
+    def test_shape_mismatch_raises(self):
+        cam = CameraIntrinsics.kinect_like(16, 12)
+        with pytest.raises(ValueError):
+            cam.backproject(np.zeros((10, 10)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CameraIntrinsics(fx=-1, fy=1, cx=0, cy=0, width=10, height=10)
+        with pytest.raises(ValueError):
+            CameraIntrinsics(fx=1, fy=1, cx=0, cy=0, width=0, height=10)

@@ -1,0 +1,368 @@
+"""Tests for filters, ICP, the TSDF volume, map backends, surfels and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.slam import se3
+from repro.slam.camera import CameraIntrinsics
+from repro.slam.filters import (
+    bilateral_filter,
+    bilinear_sample,
+    block_average_downsample,
+    depth_pyramid,
+    image_gradients,
+    normal_map,
+    vertex_map,
+)
+from repro.slam.icp import icp_point_to_implicit, icp_point_to_plane, point_to_plane_system, solve_increment
+from repro.slam.maps import AnalyticSDFMap, TSDFMap
+from repro.slam.metrics import absolute_trajectory_error, relative_pose_error, umeyama_alignment
+from repro.slam.scene import Sphere, Scene, make_living_room_scene
+from repro.slam.surfel import SurfelMap
+from repro.slam.trajectory import Trajectory, make_living_room_trajectory
+from repro.slam.tsdf import TSDFVolume
+
+
+class TestFilters:
+    def test_bilateral_preserves_flat_regions(self):
+        depth = np.full((20, 20), 2.0)
+        out = bilateral_filter(depth, radius=2)
+        assert np.allclose(out, 2.0, atol=1e-9)
+
+    def test_bilateral_smooths_noise(self, rng):
+        depth = 2.0 + rng.normal(scale=0.01, size=(30, 30))
+        out = bilateral_filter(depth, radius=2, sigma_range=0.05)
+        assert np.std(out[3:-3, 3:-3]) < np.std(depth[3:-3, 3:-3])
+
+    def test_bilateral_preserves_edges(self):
+        depth = np.full((20, 20), 1.0)
+        depth[:, 10:] = 3.0
+        out = bilateral_filter(depth, radius=2, sigma_range=0.05)
+        assert abs(out[10, 9] - 1.0) < 0.05
+        assert abs(out[10, 10] - 3.0) < 0.05
+
+    def test_bilateral_ignores_invalid(self):
+        depth = np.full((10, 10), 2.0)
+        depth[5, 5] = 0.0
+        out = bilateral_filter(depth, radius=1)
+        assert out[5, 5] == 0.0
+        assert np.allclose(out[depth > 0], 2.0)
+
+    def test_block_average_downsample(self):
+        depth = np.arange(16, dtype=float).reshape(4, 4) + 1
+        out = block_average_downsample(depth, 2)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == pytest.approx(np.mean([1, 2, 5, 6]))
+
+    def test_block_average_skips_invalid(self):
+        depth = np.array([[2.0, 0.0], [0.0, 0.0]])
+        assert block_average_downsample(depth, 2)[0, 0] == pytest.approx(2.0)
+
+    def test_depth_pyramid_shapes(self):
+        pyr = depth_pyramid(np.ones((40, 64)), levels=3)
+        assert [p.shape for p in pyr] == [(40, 64), (20, 32), (10, 16)]
+
+    def test_normal_map_of_plane_is_constant(self):
+        cam = CameraIntrinsics.kinect_like(32, 24)
+        depth = np.full((24, 32), 2.0)
+        normals = normal_map(vertex_map(depth, cam))
+        inner = normals[2:-2, 2:-2]
+        norms = np.linalg.norm(inner, axis=-1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+        assert np.allclose(np.abs(inner[..., 2]), 1.0, atol=0.05)
+
+    def test_image_gradients_of_ramp(self):
+        img = np.tile(np.arange(10, dtype=float), (8, 1))
+        gx, gy = image_gradients(img)
+        assert np.allclose(gx[:, 1:-1], 1.0)
+        assert np.allclose(gy[1:-1, :], 0.0)
+
+    def test_bilinear_sample(self):
+        img = np.array([[0.0, 1.0], [2.0, 3.0]])
+        assert bilinear_sample(img, np.array([0.5]), np.array([0.5]))[0] == pytest.approx(1.5)
+        assert bilinear_sample(img, np.array([5.0]), np.array([0.0]), fill=-1.0)[0] == -1.0
+
+
+class TestICP:
+    def test_point_to_plane_system_zero_residual(self):
+        pts = np.random.default_rng(0).normal(size=(20, 3))
+        normals = np.tile([0.0, 0.0, 1.0], (20, 1))
+        JtJ, Jtr, err = point_to_plane_system(pts, pts, normals)
+        assert err == pytest.approx(0.0)
+        assert np.allclose(Jtr, 0.0)
+
+    def test_solve_increment_handles_singular(self):
+        delta = solve_increment(np.zeros((6, 6)), np.zeros(6))
+        assert delta.shape == (6,)
+
+    def test_icp_recovers_translation_against_sphere(self):
+        # A single sphere constrains translation (rotation about its centre is
+        # unobservable), so the ground-truth offset is a pure translation.
+        scene = Scene([Sphere((0.0, 0.0, 0.0), 1.0)])
+        rng = np.random.default_rng(0)
+        dirs = rng.normal(size=(400, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        surface_points = dirs  # radius-1 sphere
+        true_pose = se3.exp_se3(np.array([0.02, -0.015, 0.01, 0.0, 0.0, 0.0]))
+        pts_cam = se3.transform_points(se3.invert(true_pose), surface_points)
+
+        def query(points):
+            return scene.sdf_and_gradient(points)
+
+        result = icp_point_to_implicit(pts_cam, query, np.eye(4), iterations=[15], termination_threshold=1e-10)
+        assert result.converged
+        assert np.allclose(result.pose[:3, 3], true_pose[:3, 3], atol=2e-3)
+
+    def test_icp_recovers_full_pose_against_living_room(self):
+        # The living-room scene (walls + furniture) constrains all six degrees
+        # of freedom.
+        scene = make_living_room_scene()
+        rng = np.random.default_rng(3)
+        # Sample free-space points and project them onto the nearest surface.
+        pts = rng.uniform(-1.8, 1.8, size=(600, 3)) * np.array([1.0, 0.6, 1.0])
+        d, g = scene.sdf_and_gradient(pts)
+        surface_points = pts - d[:, None] * g
+        true_pose = se3.exp_se3(np.array([0.02, -0.015, 0.01, 0.015, -0.01, 0.02]))
+        pts_cam = se3.transform_points(se3.invert(true_pose), surface_points)
+        result = icp_point_to_implicit(pts_cam, scene.sdf_and_gradient, np.eye(4), iterations=[20], termination_threshold=1e-12)
+        assert result.converged
+        assert np.allclose(result.pose[:3, 3], true_pose[:3, 3], atol=5e-3)
+        assert se3.rotation_angle(result.pose[:3, :3] @ true_pose[:3, :3].T) < 5e-3
+
+    def test_icp_threshold_terminates_early(self):
+        scene = Scene([Sphere((0.0, 0.0, 0.0), 1.0)])
+        rng = np.random.default_rng(1)
+        dirs = rng.normal(size=(300, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        pts = dirs * 1.01
+
+        def query(points):
+            return scene.sdf_and_gradient(points)
+
+        strict = icp_point_to_implicit(pts, query, np.eye(4), iterations=[20], termination_threshold=1e-12)
+        loose = icp_point_to_implicit(pts, query, np.eye(4), iterations=[20], termination_threshold=1e3)
+        assert loose.iterations < strict.iterations
+
+    def test_icp_too_few_points(self):
+        result = icp_point_to_implicit(np.zeros((3, 3)), lambda p: (np.zeros(len(p)), np.zeros((len(p), 3))), np.eye(4))
+        assert not result.converged and result.iterations == 0
+
+    def test_icp_point_to_plane_with_projective_correspondences(self):
+        rng = np.random.default_rng(2)
+        target_pts = rng.uniform(-1, 1, size=(500, 3)) + np.array([0, 0, 2.0])
+        normals = np.tile([0.0, 0.0, -1.0], (500, 1))
+        target_pts[:, 2] = 2.0  # a plane at z=2
+        true_pose = se3.exp_se3(np.array([0.03, 0.0, 0.02, 0.0, 0.0, 0.0]))
+        src = se3.transform_points(se3.invert(true_pose), target_pts)
+
+        def correspondences(points_world):
+            # Perfect correspondence to the plane z=2 (point-to-plane only
+            # constrains the z translation here).
+            proj = points_world.copy()
+            proj[:, 2] = 2.0
+            return proj, normals[: len(points_world)], np.ones(len(points_world), dtype=bool)
+
+        result = icp_point_to_plane(src, correspondences, np.eye(4), max_iterations=10)
+        # The plane constrains translation along z only.
+        assert abs(result.pose[2, 3] - true_pose[2, 3]) < 1e-3
+
+
+class TestTSDF:
+    @pytest.fixture()
+    def fused_volume(self):
+        cam = CameraIntrinsics.kinect_like(40, 30)
+        volume = TSDFVolume(resolution=48, size_m=4.0, mu=0.2)
+        depth = np.full((30, 40), 1.5)
+        pose = np.eye(4)
+        volume.integrate(depth, cam, pose)
+        return volume, cam, depth
+
+    def test_integrate_creates_surface(self, fused_volume):
+        volume, cam, depth = fused_volume
+        assert volume.occupancy_fraction() > 0.0
+        # Sample along the optical axis: in front of the wall the SDF is
+        # positive, behind it negative.
+        front, valid_f = volume.sample(np.array([[0.0, 0.0, 1.3]]))
+        behind, valid_b = volume.sample(np.array([[0.0, 0.0, 1.62]]))
+        assert valid_f[0] and valid_b[0]
+        assert front[0] > 0 > behind[0]
+
+    def test_sample_with_gradient_points_towards_camera(self, fused_volume):
+        volume, _, _ = fused_volume
+        dist, grad = volume.sample_with_gradient(np.array([[0.0, 0.0, 1.45]]))
+        assert np.isfinite(dist[0])
+        assert grad[0, 2] < -0.5  # surface normal faces the camera (-z)
+
+    def test_sample_outside_volume_invalid(self, fused_volume):
+        volume, _, _ = fused_volume
+        dist, _ = volume.sample_with_gradient(np.array([[10.0, 10.0, 10.0]]))
+        assert np.isinf(dist[0])
+
+    def test_raycast_recovers_depth(self, fused_volume):
+        volume, cam, depth = fused_volume
+        ray_depth, vertices, normals = volume.raycast(cam, np.eye(4))
+        hit = ray_depth > 0
+        assert hit.mean() > 0.5
+        assert np.abs(ray_depth[hit] - 1.5).mean() < 0.1
+
+    def test_extract_surface_points_near_wall(self, fused_volume):
+        volume, _, _ = fused_volume
+        pts = volume.extract_surface_points(band=0.6)
+        assert pts.shape[0] > 0
+        assert np.abs(pts[:, 2].mean() - 1.5) < 0.3
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TSDFVolume(resolution=4)
+        with pytest.raises(ValueError):
+            TSDFVolume(mu=0.0)
+
+
+class TestMapBackends:
+    def test_analytic_map_error_model_monotonic_in_resolution(self):
+        scene = make_living_room_scene()
+        coarse = AnalyticSDFMap(scene, resolution=64, size_m=4.8, mu=0.1)
+        fine = AnalyticSDFMap(scene, resolution=256, size_m=4.8, mu=0.1)
+        assert coarse.effective_sigma > fine.effective_sigma
+
+    def test_analytic_map_narrow_mu_creates_holes(self):
+        scene = make_living_room_scene()
+        narrow = AnalyticSDFMap(scene, resolution=256, size_m=4.8, mu=0.005)
+        wide = AnalyticSDFMap(scene, resolution=256, size_m=4.8, mu=0.1)
+        assert narrow.base_hole_fraction > wide.base_hole_fraction
+
+    def test_analytic_map_staleness_grows_and_resets(self):
+        scene = make_living_room_scene()
+        m = AnalyticSDFMap(scene, resolution=128, size_m=4.8, mu=0.1)
+        base_sigma = m.effective_sigma
+        m.notify_motion(0.5, 0.2)
+        assert m.effective_sigma > base_sigma
+        m.integrate(np.zeros((2, 2)), CameraIntrinsics.kinect_like(2, 2), np.eye(4), 0)
+        assert m.effective_sigma == pytest.approx(base_sigma)
+
+    def test_analytic_map_query_shapes(self):
+        scene = make_living_room_scene()
+        m = AnalyticSDFMap(scene, resolution=128, size_m=4.8, mu=0.1)
+        m.integrate(np.zeros((2, 2)), CameraIntrinsics.kinect_like(2, 2), np.eye(4), 0)
+        pts = np.random.default_rng(0).uniform(-1, 1, size=(50, 3))
+        dist, grad = m.sdf_query(pts)
+        assert dist.shape == (50,) and grad.shape == (50, 3)
+        assert m.has_content
+
+    def test_tsdf_map_backend(self):
+        cam = CameraIntrinsics.kinect_like(32, 24)
+        m = TSDFMap(resolution=32, size_m=4.0, mu=0.2)
+        assert not m.has_content
+        m.integrate(np.full((24, 32), 1.5), cam, np.eye(4), 0)
+        assert m.has_content
+        dist, grad = m.sdf_query(np.array([[0.0, 0.0, 1.4]]))
+        assert np.isfinite(dist[0])
+
+
+class TestSurfelMap:
+    def test_fuse_creates_and_updates(self):
+        m = SurfelMap(merge_distance=0.05)
+        pts = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 1.0]])
+        nrm = np.tile([0.0, 0.0, -1.0], (2, 1))
+        col = np.array([0.5, 0.7])
+        updated, added = m.fuse(pts, nrm, col, frame_index=0)
+        assert (updated, added) == (0, 2)
+        updated, added = m.fuse(pts + 0.001, nrm, col, frame_index=1)
+        assert updated == 2 and added == 0
+        assert m.n_surfels == 2
+        assert np.all(m.confidences[:2] >= 2.0)
+
+    def test_confidence_threshold_gating(self):
+        m = SurfelMap(merge_distance=0.05)
+        pts = np.array([[0.0, 0.0, 1.0]])
+        nrm = np.array([[0.0, 0.0, -1.0]])
+        m.fuse(pts, nrm, np.array([0.5]), frame_index=0, confidence_increment=1.0)
+        assert m.n_active(confidence_threshold=5.0) == 0
+        for i in range(1, 6):
+            m.fuse(pts, nrm, np.array([0.5]), frame_index=i, confidence_increment=1.0)
+        assert m.n_active(confidence_threshold=5.0) == 1
+
+    def test_update_by_index(self):
+        m = SurfelMap()
+        m.fuse(np.array([[0.0, 0.0, 1.0]]), np.array([[0.0, 0.0, -1.0]]), np.array([0.5]), frame_index=0)
+        n = m.update_by_index(
+            np.array([0, 0]),
+            np.array([[0.0, 0.0, 1.1], [0.0, 0.0, 1.2]]),
+            np.tile([0.0, 0.0, -1.0], (2, 1)),
+            np.array([0.6, 0.8]),
+            weight=1.0,
+            frame_index=3,
+        )
+        assert n == 1
+        assert 1.0 < m.positions[0, 2] < 1.2
+        assert m.timestamps[0] == 3
+
+    def test_predict_view_splats_nearest(self):
+        m = SurfelMap(merge_distance=0.01)
+        cam = CameraIntrinsics.kinect_like(20, 16)
+        # Two surfels on the optical axis at different depths.
+        m.fuse(
+            np.array([[0.0, 0.0, 2.0], [0.0, 0.0, 1.0]]),
+            np.tile([0.0, 0.0, -1.0], (2, 1)),
+            np.array([0.2, 0.9]),
+            frame_index=0,
+        )
+        view = m.predict_view(cam, np.eye(4), splat_radius=0)
+        center = view["depth"][8, 10]
+        assert center == pytest.approx(1.0)
+
+    def test_decay_unstable(self):
+        m = SurfelMap()
+        m.fuse(np.array([[0.0, 0.0, 1.0]]), np.array([[0.0, 0.0, -1.0]]), np.array([0.5]), frame_index=0, confidence_increment=1.0)
+        removed = m.decay_unstable(frame_index=100, max_age=10, min_confidence=5.0)
+        assert removed == 1 and m.n_surfels == 0
+
+    def test_grow_beyond_initial_capacity(self, rng):
+        m = SurfelMap(merge_distance=0.001, initial_capacity=8)
+        pts = rng.uniform(-1, 1, size=(500, 3))
+        nrm = np.tile([0.0, 0.0, 1.0], (500, 1))
+        m.fuse(pts, nrm, np.ones(500), frame_index=0)
+        assert m.n_surfels > 8
+
+
+class TestMetrics:
+    def test_identical_trajectories_zero_error(self):
+        traj = make_living_room_trajectory(20)
+        ate = absolute_trajectory_error(traj, traj)
+        assert ate.mean == pytest.approx(0.0)
+        assert ate.max == pytest.approx(0.0)
+
+    def test_constant_offset(self):
+        gt = make_living_room_trajectory(10)
+        est = Trajectory([p.copy() for p in gt.poses])
+        for p in est.poses:
+            p[:3, 3] += np.array([0.03, 0.0, 0.04])
+        ate = absolute_trajectory_error(est, gt)
+        assert ate.mean == pytest.approx(0.05)
+        assert ate.rmse == pytest.approx(0.05)
+
+    def test_alignment_removes_rigid_offset(self):
+        gt = make_living_room_trajectory(30)
+        offset = se3.exp_se3(np.array([0.3, -0.1, 0.2, 0.05, 0.02, -0.04]))
+        est = Trajectory([offset @ p for p in gt.poses])
+        raw = absolute_trajectory_error(est, gt, align=False)
+        aligned = absolute_trajectory_error(est, gt, align=True)
+        assert aligned.mean < raw.mean
+        assert aligned.mean < 0.01
+
+    def test_umeyama_exact_recovery(self, rng):
+        src = rng.normal(size=(50, 3))
+        T_true = se3.random_pose(rng, max_translation=0.5, max_angle=1.0)
+        dst = se3.transform_points(T_true, src)
+        T_est = umeyama_alignment(src, dst)
+        assert np.allclose(T_est, T_true, atol=1e-8)
+
+    def test_relative_pose_error_zero_for_identical(self):
+        traj = make_living_room_trajectory(15)
+        t_err, r_err = relative_pose_error(traj, traj, delta=3)
+        assert t_err == pytest.approx(0.0)
+        assert r_err == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_trajectories_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_trajectory_error(Trajectory([]), Trajectory([]))

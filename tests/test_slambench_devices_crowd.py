@@ -1,0 +1,246 @@
+"""Tests for the SLAMBench harness, device models, workload model and crowd substrate."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.analysis import cross_device_correlation, speedup_histogram, speedup_statistics
+from repro.crowd.app import run_crowd_experiment
+from repro.crowd.database import CrowdDatabase, CrowdRecord
+from repro.devices.catalog import ASUS_T200TA, NVIDIA_GTX_780TI, ODROID_XU3, get_device, list_devices
+from repro.devices.mobile import make_mobile_fleet
+from repro.devices.model import DeviceModel, KernelCost
+from repro.slam.pipeline import FrameStats
+from repro.slambench.parameters import (
+    ACCURACY_LIMIT_M,
+    elasticfusion_default_config,
+    elasticfusion_design_space,
+    elasticfusion_objectives,
+    kfusion_default_config,
+    kfusion_design_space,
+    kfusion_objectives,
+    table1_flag_columns,
+)
+from repro.slambench.workload import (
+    elasticfusion_frame_kernels,
+    frame_runtime,
+    kfusion_frame_kernels,
+    sequence_runtime,
+)
+
+
+class TestDeviceModel:
+    def test_kernel_time_roofline(self):
+        dev = DeviceModel("test", gflops=1.0, bandwidth_gbs=1.0, kernel_overhead_us=0.0, frame_overhead_ms=0.0)
+        compute_bound = KernelCost("k", flops=2e9, bytes=1e9)
+        memory_bound = KernelCost("k", flops=1e9, bytes=2e9)
+        assert dev.kernel_time_s(compute_bound) == pytest.approx(2.0)
+        assert dev.kernel_time_s(memory_bound) == pytest.approx(2.0)
+
+    def test_overheads_added(self):
+        dev = DeviceModel("test", gflops=1000.0, bandwidth_gbs=1000.0, kernel_overhead_us=100.0, frame_overhead_ms=1.0)
+        t = dev.frame_time_s([KernelCost("k", flops=1.0, bytes=1.0, launches=10)])
+        assert t == pytest.approx(1e-3 + 10 * 100e-6, rel=1e-6)
+
+    def test_catalog(self):
+        assert "odroid-xu3" in list_devices()
+        assert get_device("ODROID-XU3").name == ODROID_XU3.name
+        with pytest.raises(KeyError):
+            get_device("nonexistent")
+
+    def test_desktop_faster_than_embedded(self):
+        kernel = [KernelCost("k", flops=1e9, bytes=1e8)]
+        assert NVIDIA_GTX_780TI.frame_time_s(kernel) < ODROID_XU3.frame_time_s(kernel)
+
+    def test_invalid_device(self):
+        with pytest.raises(ValueError):
+            DeviceModel("bad", gflops=0.0, bandwidth_gbs=1.0)
+
+    def test_mobile_fleet(self):
+        fleet = make_mobile_fleet(83, seed=1)
+        assert len(fleet) == 83
+        assert len({d.name for d in fleet}) == 83
+        gflops = np.array([d.gflops for d in fleet])
+        assert gflops.min() >= 4.0 and gflops.max() <= 180.0
+        # Deterministic for a given seed.
+        fleet2 = make_mobile_fleet(83, seed=1)
+        assert [d.gflops for d in fleet] == [d.gflops for d in fleet2]
+
+
+class TestDesignSpaces:
+    def test_kfusion_cardinality_matches_paper(self):
+        space = kfusion_design_space()
+        assert space.cardinality == pytest.approx(1_800_000)
+
+    def test_elasticfusion_cardinality_roughly_450k(self):
+        space = elasticfusion_design_space()
+        assert 300_000 < space.cardinality < 600_000
+
+    def test_defaults_are_valid_members(self):
+        ks = kfusion_design_space()
+        assert ks.is_valid(kfusion_default_config())
+        es = elasticfusion_design_space()
+        assert es.is_valid(elasticfusion_default_config())
+
+    def test_default_values_match_paper(self):
+        d = kfusion_default_config()
+        assert d["volume_resolution"] == 256 and d["mu"] == 0.1 and d["icp_threshold"] == 1e-5
+        e = elasticfusion_default_config()
+        assert e["icp_rgb_weight"] == 10.0 and e["depth_cutoff"] == 3.0 and e["confidence_threshold"] == 10.0
+
+    def test_objectives(self):
+        ko = kfusion_objectives()
+        assert ko.names == ["max_ate_m", "runtime_s"]
+        assert ko["max_ate_m"].limit == ACCURACY_LIMIT_M
+        eo = elasticfusion_objectives()
+        assert eo.names == ["mean_ate_m", "runtime_s"]
+
+    def test_table1_flag_columns_default_row(self):
+        cols = table1_flag_columns(dict(elasticfusion_default_config()))
+        assert cols == {"SO3": 1, "Close-Loops": 0, "Reloc": 1, "Fast-Odom": 0, "FTF RGB": 0}
+
+
+def _kfusion_stats(tracked=True, integrated=True, icp_iterations=19):
+    return FrameStats(
+        index=1,
+        tracked=tracked,
+        icp_iterations=icp_iterations,
+        n_pixels=640 * 480,
+        integrated=integrated,
+        integration_elements=256**3,
+    )
+
+
+class TestWorkloadModel:
+    def test_kfusion_resolution_increases_work(self):
+        stats = _kfusion_stats()
+        small = dict(kfusion_default_config(), volume_resolution=64)
+        large = dict(kfusion_default_config(), volume_resolution=256)
+        t_small = frame_runtime(stats, small, ODROID_XU3, "kfusion")
+        t_large = frame_runtime(stats, large, ODROID_XU3, "kfusion")
+        assert t_large > t_small * 1.5
+
+    def test_kfusion_csr_reduces_work(self):
+        stats = _kfusion_stats()
+        base = dict(kfusion_default_config())
+        quartered = dict(base, compute_size_ratio=4)
+        assert frame_runtime(stats, quartered, ODROID_XU3, "kfusion") < frame_runtime(stats, base, ODROID_XU3, "kfusion")
+
+    def test_kfusion_untracked_frame_cheaper(self):
+        cfg = dict(kfusion_default_config())
+        tracked = frame_runtime(_kfusion_stats(tracked=True), cfg, ODROID_XU3, "kfusion")
+        skipped = frame_runtime(_kfusion_stats(tracked=False), cfg, ODROID_XU3, "kfusion")
+        assert skipped < tracked
+
+    def test_kfusion_default_fps_near_paper_anchor(self):
+        """The default configuration lands near the paper's ~6 FPS on ODROID-XU3."""
+        cfg = dict(kfusion_default_config())
+        # Alternate tracked+integrated / tracked-only frames (integration rate 2).
+        times = [
+            frame_runtime(_kfusion_stats(integrated=(i % 2 == 0)), cfg, ODROID_XU3, "kfusion")
+            for i in range(10)
+        ]
+        fps = 1.0 / np.mean(times)
+        assert 4.0 < fps < 9.0
+
+    def test_kernel_names_reported(self):
+        kernels = kfusion_frame_kernels(_kfusion_stats(), dict(kfusion_default_config()))
+        names = {k.name for k in kernels}
+        assert {"bilateral_filter", "track", "integrate", "raycast"}.issubset(names)
+
+    def test_elasticfusion_open_loop_cheaper(self):
+        stats = FrameStats(
+            index=1, tracked=True, icp_iterations=19, rgb_iterations=19,
+            n_pixels=640 * 480, n_tracking_points=250_000, integrated=True,
+            integration_elements=40_000, n_surfels=250_000, raycast_steps=80_000, so3_used=True,
+        )
+        closed = dict(elasticfusion_default_config())
+        open_loop = dict(closed, open_loop=True)
+        assert frame_runtime(stats, open_loop, NVIDIA_GTX_780TI, "elasticfusion") < frame_runtime(
+            stats, closed, NVIDIA_GTX_780TI, "elasticfusion"
+        )
+
+    def test_elasticfusion_kernel_names(self):
+        stats = FrameStats(index=1, tracked=True, icp_iterations=10, rgb_iterations=5, n_pixels=640 * 480, n_tracking_points=100_000, integrated=True, integration_elements=10_000, n_surfels=100_000, raycast_steps=50_000)
+        names = {k.name for k in elasticfusion_frame_kernels(stats, dict(elasticfusion_default_config()))}
+        assert {"icp_step", "rgb_step", "model_predict", "surfel_fusion", "local_loop_closure"}.issubset(names)
+
+    def test_sequence_runtime_keys(self):
+        frames = [_kfusion_stats(integrated=(i % 2 == 0)) for i in range(4)]
+        out = sequence_runtime(frames, dict(kfusion_default_config()), ODROID_XU3, "kfusion")
+        assert set(out) == {"runtime_s", "fps", "total_s", "max_frame_s"}
+        assert out["fps"] == pytest.approx(1.0 / out["runtime_s"])
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            frame_runtime(_kfusion_stats(), dict(kfusion_default_config()), ODROID_XU3, "orbslam")
+
+
+class TestRunner:
+    def test_evaluate_returns_objectives(self, kfusion_runner):
+        metrics = kfusion_runner.evaluate(dict(kfusion_default_config()), ODROID_XU3)
+        for key in ("max_ate_m", "mean_ate_m", "runtime_s", "fps"):
+            assert key in metrics
+        assert metrics["max_ate_m"] < ACCURACY_LIMIT_M
+
+    def test_cache_shared_across_devices(self, kfusion_runner):
+        cfg = dict(kfusion_default_config(), volume_resolution=128)
+        before = kfusion_runner.n_simulations
+        m1 = kfusion_runner.evaluate(cfg, ODROID_XU3)
+        mid = kfusion_runner.n_simulations
+        m2 = kfusion_runner.evaluate(cfg, ASUS_T200TA)
+        after = kfusion_runner.n_simulations
+        assert mid == before + 1 and after == mid  # second device reuses the simulation
+        assert m1["max_ate_m"] == m2["max_ate_m"]  # accuracy is device independent
+        assert m1["runtime_s"] != m2["runtime_s"]  # runtime is not
+
+    def test_evaluation_function_for_hypermapper(self, kfusion_runner):
+        space = kfusion_design_space()
+        fn = kfusion_runner.evaluation_function(ODROID_XU3)
+        config = space.sample(1, rng=0)[0]
+        metrics = fn(config)
+        assert "runtime_s" in metrics and "max_ate_m" in metrics
+
+    def test_elasticfusion_runner(self, elasticfusion_runner):
+        metrics = elasticfusion_runner.evaluate(dict(elasticfusion_default_config()), NVIDIA_GTX_780TI)
+        assert metrics["mean_ate_m"] < 0.15
+        assert metrics["runtime_s"] > 0
+
+    def test_invalid_pipeline(self):
+        from repro.slambench.runner import SlamBenchRunner
+
+        with pytest.raises(ValueError):
+            SlamBenchRunner("orbslam")
+
+
+class TestCrowd:
+    def test_database_queries(self):
+        db = CrowdDatabase()
+        db.upload(CrowdRecord("phone-a", "mobile", "default", 0.2, 5.0, 100))
+        db.upload(CrowdRecord("phone-a", "mobile", "pareto-best", 0.05, 20.0, 100))
+        db.upload(CrowdRecord("phone-b", "mobile", "default", 0.4, 2.5, 100))
+        assert len(db) == 3
+        assert db.devices() == ["phone-a", "phone-b"]
+        assert db.runtime("phone-a", "default") == pytest.approx(0.2)
+        assert db.runtime("phone-b", "pareto-best") is None
+        assert db.speedups() == {"phone-a": pytest.approx(4.0)}
+
+    def test_crowd_experiment_speedups(self, kfusion_runner):
+        fleet = make_mobile_fleet(10, seed=3)
+        default = dict(kfusion_default_config())
+        tuned = dict(default, volume_resolution=64, compute_size_ratio=2, integration_rate=3,
+                     pyramid_iterations_0=4, pyramid_iterations_1=3, pyramid_iterations_2=2)
+        db = CrowdDatabase()
+        runs = run_crowd_experiment(kfusion_runner, fleet, default, tuned, database=db)
+        assert len(runs) == 10
+        assert len(db) == 20
+        stats = speedup_statistics(runs)
+        assert stats["min"] > 1.0, "the tuned configuration should be faster on every device"
+        hist = speedup_histogram(runs)
+        assert sum(c for _, c in hist) == 10
+
+    def test_cross_device_correlation_strong(self, kfusion_runner):
+        space = kfusion_design_space()
+        configs = [dict(c) for c in space.sample(6, rng=4)]
+        corr = cross_device_correlation(kfusion_runner, configs, ODROID_XU3, ASUS_T200TA)
+        assert corr["pearson"] > 0.8
+        assert corr["spearman"] > 0.7

@@ -1,0 +1,150 @@
+"""Unit and property tests for Configuration and DesignSpace."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parameters import (
+    BooleanParameter,
+    CategoricalParameter,
+    OrdinalParameter,
+    RealParameter,
+)
+from repro.core.space import Configuration, DesignSpace
+
+
+@pytest.fixture()
+def space():
+    return DesignSpace(
+        [
+            OrdinalParameter("res", [64, 128, 256], default=256),
+            OrdinalParameter("mu", [0.05, 0.1, 0.2], default=0.1),
+            BooleanParameter("flag", default=False),
+            CategoricalParameter("mode", ["a", "b", "c"], default="a"),
+        ],
+        name="test-space",
+    )
+
+
+class TestConfiguration:
+    def test_mapping_protocol(self):
+        c = Configuration(["a", "b"], [1, 2])
+        assert c["a"] == 1 and c["b"] == 2
+        assert len(c) == 2
+        assert list(c) == ["a", "b"]
+        assert dict(c) == {"a": 1, "b": 2}
+
+    def test_hash_and_equality(self):
+        c1 = Configuration(["a", "b"], [1, 2])
+        c2 = Configuration(["a", "b"], [1, 2])
+        c3 = Configuration(["a", "b"], [1, 3])
+        assert c1 == c2 and hash(c1) == hash(c2)
+        assert c1 != c3
+        assert len({c1, c2, c3}) == 2
+
+    def test_replace(self):
+        c = Configuration(["a", "b"], [1, 2])
+        c2 = c.replace(b=5)
+        assert c2["b"] == 5 and c["b"] == 2
+        with pytest.raises(KeyError):
+            c.replace(zzz=1)
+
+    def test_from_dict_ordering(self):
+        c = Configuration.from_dict({"b": 2, "a": 1}, order=["a", "b"])
+        assert c.names == ("a", "b")
+
+    def test_missing_key_raises(self):
+        c = Configuration(["a"], [1])
+        with pytest.raises(KeyError):
+            _ = c["b"]
+
+
+class TestDesignSpace:
+    def test_cardinality(self, space):
+        assert space.cardinality == 3 * 3 * 2 * 3
+        assert space.is_enumerable
+
+    def test_infinite_cardinality(self):
+        s = DesignSpace([RealParameter("x", 0, 1), OrdinalParameter("y", [1, 2])])
+        assert math.isinf(s.cardinality)
+        assert not s.is_enumerable
+        with pytest.raises(ValueError):
+            s.enumerate()
+
+    def test_default_configuration(self, space):
+        d = space.default_configuration()
+        assert d["res"] == 256 and d["mu"] == 0.1 and d["flag"] is False and d["mode"] == "a"
+
+    def test_enumerate_all_distinct(self, space):
+        configs = space.enumerate()
+        assert len(configs) == space.cardinality
+        assert len(set(configs)) == len(configs)
+
+    def test_sample_distinct(self, space):
+        configs = space.sample(30, rng=0)
+        assert len(set(configs)) == len(configs)
+        for c in configs:
+            assert space.is_valid(c)
+
+    def test_sample_more_than_cardinality_returns_all(self, space):
+        configs = space.sample(1000, rng=0)
+        assert len(configs) == space.cardinality
+
+    def test_validation(self, space):
+        with pytest.raises(KeyError):
+            space.configuration({"res": 64})  # missing params
+        with pytest.raises(KeyError):
+            space.configuration({"res": 64, "mu": 0.1, "flag": True, "mode": "a", "extra": 1})
+        with pytest.raises(ValueError):
+            space.configuration({"res": 65, "mu": 0.1, "flag": True, "mode": "a"})
+
+    def test_encode_shape_and_one_hot(self, space):
+        configs = space.sample(10, rng=1)
+        X = space.encode(configs)
+        # 3 scalar features (res, mu, flag) + 3 one-hot columns for "mode".
+        assert X.shape == (10, 6)
+        one_hot = X[:, space.feature_slice("mode")]
+        assert np.allclose(one_hot.sum(axis=1), 1.0)
+        assert set(np.unique(one_hot)).issubset({0.0, 1.0})
+
+    def test_encode_decode_roundtrip(self, space):
+        configs = space.sample(20, rng=2)
+        decoded = space.decode(space.encode(configs))
+        assert decoded == configs
+
+    def test_neighbors(self, space):
+        d = space.default_configuration()
+        neighbors = space.neighbors(d)
+        assert all(space.is_valid(n) for n in neighbors)
+        assert d not in neighbors
+        # Each neighbor differs from the default in exactly one parameter.
+        for n in neighbors:
+            diffs = sum(1 for k in d if d[k] != n[k])
+            assert diffs == 1
+
+    def test_subspace(self, space):
+        sub = space.subspace(["res", "flag"])
+        assert sub.parameter_names == ["res", "flag"]
+        assert sub.cardinality == 6
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace([OrdinalParameter("x", [1]), OrdinalParameter("x", [2])])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_sampling_always_valid_property(self, seed):
+        space = DesignSpace(
+            [
+                OrdinalParameter("a", [1, 2, 3]),
+                RealParameter("b", -1.0, 1.0),
+                BooleanParameter("c"),
+            ]
+        )
+        for config in space.sample(5, rng=seed, distinct=False):
+            assert space.is_valid(config)
+            vec = space.encode_one(config)
+            assert vec.shape == (space.n_features,)
+            assert np.all(np.isfinite(vec))

@@ -1,0 +1,117 @@
+"""Tests for the shared utilities (RNG, tables, timing, serialization)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, choice_without_replacement, derive_seed, spawn_generators
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+from repro.utils.tables import format_kv, format_table
+from repro.utils.timing import Timer
+
+
+class TestRng:
+    def test_as_generator_idempotent(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_from_int_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_generators_independent_and_deterministic(self):
+        gens1 = spawn_generators(7, 3)
+        gens2 = spawn_generators(7, 3)
+        draws1 = [g.integers(0, 10**6) for g in gens1]
+        draws2 = [g.integers(0, 10**6) for g in gens2]
+        assert draws1 == draws2
+        assert len(set(draws1)) == 3
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_derive_seed_stable_and_label_sensitive(self):
+        assert derive_seed(1, "runtime") == derive_seed(1, "runtime")
+        assert derive_seed(1, "runtime") != derive_seed(1, "accuracy")
+        assert derive_seed(1, "runtime") != derive_seed(2, "runtime")
+
+    def test_choice_without_replacement(self):
+        rng = np.random.default_rng(0)
+        picks = choice_without_replacement(rng, 10, 4)
+        assert len(set(picks.tolist())) == 4
+        assert choice_without_replacement(rng, 3, 10).shape == (3,)
+        assert choice_without_replacement(rng, 3, 0).shape == (0,)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table([[1, "abc"], [22, "d"]], headers=["n", "name"])
+        lines = text.splitlines()
+        assert lines[0].startswith("n")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_table_title_and_floats(self):
+        text = format_table([[0.123456]], headers=["x"], float_fmt=".2f", title="T")
+        assert text.startswith("T")
+        assert "0.12" in text
+
+    def test_format_kv(self):
+        text = format_kv([("a", 1), ("bb", 2.5)])
+        assert "a" in text and "bb" in text
+
+    def test_empty_rows(self):
+        assert format_table([], title="nothing") == "nothing"
+
+
+class TestTimer:
+    def test_laps_accumulate(self):
+        t = Timer()
+        with t.lap("fit"):
+            pass
+        with t.lap("fit"):
+            pass
+        assert t.count("fit") == 2
+        assert t.total("fit") >= 0.0
+        assert t.mean("fit") >= 0.0
+        assert "fit" in t.summary()
+
+    def test_unknown_label_zero(self):
+        t = Timer()
+        assert t.total("nope") == 0.0
+        assert t.count("nope") == 0
+
+
+@dataclasses.dataclass
+class _Sample:
+    a: int
+    b: float
+
+
+class TestSerialization:
+    def test_to_jsonable_numpy_and_dataclass(self):
+        obj = {
+            "arr": np.arange(3),
+            "scalar": np.float64(1.5),
+            "flag": np.bool_(True),
+            "dc": _Sample(1, 2.0),
+            "nested": [np.int64(3), (1, 2)],
+        }
+        out = to_jsonable(obj)
+        json.dumps(out)  # must be JSON-serializable
+        assert out["arr"] == [0, 1, 2]
+        assert out["dc"] == {"a": 1, "b": 2.0}
+
+    def test_to_jsonable_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "data.json"
+        dump_json({"x": np.float32(2.5), "y": [1, 2]}, path)
+        loaded = load_json(path)
+        assert loaded == {"x": 2.5, "y": [1, 2]}
