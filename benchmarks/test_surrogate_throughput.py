@@ -1,0 +1,155 @@
+"""Throughput benchmark for the surrogate-inference stack.
+
+Measures the model-side cost of one active-learning iteration — encoding the
+configuration pool and predicting both objectives over it with two 32-tree
+forests — for the seed-style path (re-encode the pool with per-config loops,
+then run one Python-level ``predict`` per tree) against the flat-forest
+engine (pool encoded and bitset-indexed once per run, prediction via the
+batched bitset kernel).  Results are recorded to
+``benchmarks/results/surrogate_throughput.json`` so future PRs can track the
+performance trajectory.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.flat_forest import PoolIndex, predict_trees_reference
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.parameters import BooleanParameter, CategoricalParameter, OrdinalParameter
+from repro.core.space import DesignSpace
+from repro.core.surrogate import MultiObjectiveSurrogate
+from repro.utils.serialization import dump_json
+from repro.utils.tables import format_table
+
+N_TREES = 32
+MIN_ACCEPTED_SPEEDUP = 4.0  # guardrail; the measured speedup is recorded
+
+
+def _bench_space():
+    """A KFusion-sized discrete design space (~393k configurations)."""
+    params = [OrdinalParameter(f"p{i}", [1, 2, 4, 8]) for i in range(8)]
+    params.append(BooleanParameter("flag"))
+    params.append(CategoricalParameter("mode", ["a", "b", "c"]))
+    return DesignSpace(params, name="throughput-bench")
+
+
+def _encode_seed_reference(space, configs):
+    """The seed's per-config encoding loop (baseline for the comparison)."""
+    X = np.zeros((len(configs), space.n_features), dtype=np.float64)
+    for p in space.parameters:
+        sl = space.feature_slice(p.name)
+        if p.is_categorical:
+            for i, c in enumerate(configs):
+                X[i, sl.start + p.index_of(c[p.name])] = 1.0
+        else:
+            X[:, sl.start] = [p.to_numeric(c[p.name]) for c in configs]
+    return X
+
+
+def _timed(fn, repeats=3):
+    """Best-of-N wall time (first call also serves as warm-up)."""
+    fn()
+    return min(_one_timing(fn) for _ in range(repeats))
+
+
+def _one_timing(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _measure(space, objectives, n_train, pool_size, seed):
+    rng = np.random.default_rng(seed)
+    train = space.sample(n_train, rng=rng)
+    metrics = [
+        {"error": float(rng.uniform()), "runtime": float(rng.uniform())} for _ in train
+    ]
+    pool = space.sample(pool_size, rng=rng)
+    surrogate = MultiObjectiveSurrogate(
+        space, objectives, n_estimators=N_TREES, random_state=seed
+    )
+    t0 = time.perf_counter()
+    surrogate.fit(train, metrics)
+    fit_seconds = time.perf_counter() - t0
+    forests = [surrogate.forest(o.name) for o in objectives]
+
+    def seed_iteration():
+        X = _encode_seed_reference(space, pool)
+        for forest in forests:
+            preds = predict_trees_reference(forest.trees, X)
+            preds.mean(axis=0)
+
+    X_pool = space.encode(pool)
+    index = PoolIndex(X_pool)
+
+    def flat_iteration():
+        surrogate.predict_encoded(X_pool, pool_index=index)
+
+    t_encode = _timed(lambda: space.encode(pool))
+    t_index = _timed(lambda: PoolIndex(X_pool))
+    t_seed = _timed(seed_iteration)
+    t_flat = _timed(flat_iteration)
+    # Sanity: both paths agree exactly before we quote a speedup.
+    baseline = surrogate.predict_encoded(X_pool)
+    np.testing.assert_array_equal(surrogate.predict_encoded(X_pool, pool_index=index), baseline)
+    return {
+        "n_train": n_train,
+        "pool_size": pool_size,
+        "n_trees_per_forest": N_TREES,
+        "n_forests": len(forests),
+        "fit_seconds": fit_seconds,
+        "encode_once_seconds": t_encode,
+        "index_build_seconds": t_index,
+        "seed_iteration_seconds": t_seed,
+        "flat_iteration_seconds": t_flat,
+        "speedup": t_seed / t_flat,
+        "seed_configs_per_sec": pool_size / t_seed,
+        "flat_configs_per_sec": pool_size / t_flat,
+    }
+
+
+def test_surrogate_throughput(benchmark, scale, results_dir):
+    """Record surrogate fit/predict throughput at smoke and acceptance scales."""
+    space = _bench_space()
+    objectives = ObjectiveSet([Objective("error"), Objective("runtime")])
+    cases = [("smoke", max(scale.n_random_samples, 60), 2_000)]
+    # The acceptance-scale measurement: a 20k-config pool under two 32-tree
+    # forests, the paper's KFusion/ODROID working point.
+    cases.append(("acceptance", 300, 20_000))
+
+    results = [
+        dict(case=name, **_measure(space, objectives, n_train, pool_size, seed=17))
+        for name, n_train, pool_size in cases
+    ]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = [
+        [
+            r["case"],
+            r["pool_size"],
+            f"{r['seed_iteration_seconds'] * 1e3:.1f}",
+            f"{r['flat_iteration_seconds'] * 1e3:.1f}",
+            f"{r['speedup']:.1f}x",
+            f"{r['flat_configs_per_sec']:.0f}",
+        ]
+        for r in results
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["case", "pool", "seed ms/iter", "flat ms/iter", "speedup", "configs/s"],
+            title="Surrogate inference throughput (2 forests x 32 trees)",
+        )
+    )
+    dump_json({"results": results}, results_dir / "surrogate_throughput.json")
+
+    acceptance = results[-1]
+    assert acceptance["pool_size"] == 20_000
+    # Wall-clock speedup asserts are too noisy for shared CI runners, where
+    # only the smoke scale runs; the measured numbers are always recorded.
+    from repro.experiments import SMOKE
+
+    if scale is not SMOKE:
+        assert acceptance["speedup"] >= MIN_ACCEPTED_SPEEDUP

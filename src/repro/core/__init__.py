@@ -26,6 +26,7 @@ from repro.core.parameters import (
 from repro.core.space import Configuration, DesignSpace
 from repro.core.objectives import Objective, ObjectiveSet
 from repro.core.forest import RandomForestRegressor
+from repro.core.flat_forest import FlatForest, PoolIndex
 from repro.core.tree import DecisionTreeRegressor
 from repro.core.pareto import (
     pareto_mask,
@@ -66,6 +67,8 @@ __all__ = [
     "Objective",
     "ObjectiveSet",
     "RandomForestRegressor",
+    "FlatForest",
+    "PoolIndex",
     "DecisionTreeRegressor",
     "pareto_mask",
     "pareto_front",

@@ -5,16 +5,34 @@ predicting absolute trajectory error and one predicting per-frame runtime —
 from a small number of randomly drawn configurations, then refines them with
 active learning.  This module provides the forest; the per-objective pairing
 lives in :mod:`repro.core.surrogate`.
+
+After :meth:`RandomForestRegressor.fit` the per-tree node arrays are
+concatenated into a single :class:`~repro.core.flat_forest.FlatForest` node
+table; all batch prediction (``predict`` / ``predict_with_std`` /
+``predict_all_trees`` / ``oob_error``) traverses that table in one vectorized
+pass instead of looping over trees in Python.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.flat_forest import FlatForest, PoolIndex
 from repro.core.tree import DecisionTreeRegressor, MaxFeatures
-from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.rng import RandomState, spawn_generators
+
+
+def _resolve_n_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
+    import os
+
+    if n_jobs is None:
+        return 1
+    if n_jobs < 0:
+        return max(1, min(os.cpu_count() or 1, n_tasks))
+    return max(1, min(int(n_jobs), n_tasks))
 
 
 class RandomForestRegressor:
@@ -29,6 +47,11 @@ class RandomForestRegressor:
         Passed to each :class:`~repro.core.tree.DecisionTreeRegressor`.
     bootstrap:
         Whether each tree trains on a bootstrap resample of the data.
+    n_jobs:
+        Trees fitted concurrently (``None``/1 serial, ``-1`` one worker per
+        core).  Threads suffice: split search is NumPy-heavy and releases the
+        GIL.  Results are identical for any ``n_jobs`` because every tree owns
+        an independent, pre-spawned generator.
     random_state:
         Seed for bootstrap draws and feature subsampling.
     """
@@ -42,6 +65,7 @@ class RandomForestRegressor:
         max_features: MaxFeatures = 0.75,
         min_impurity_decrease: float = 0.0,
         bootstrap: bool = True,
+        n_jobs: Optional[int] = None,
         random_state: RandomState = None,
     ) -> None:
         if n_estimators < 1:
@@ -53,9 +77,11 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.min_impurity_decrease = min_impurity_decrease
         self.bootstrap = bool(bootstrap)
+        self.n_jobs = n_jobs
         self.random_state = random_state
         self._trees: List[DecisionTreeRegressor] = []
         self._oob_indices: List[np.ndarray] = []
+        self._flat: Optional[FlatForest] = None
         self._X_train: Optional[np.ndarray] = None
         self._y_train: Optional[np.ndarray] = None
         self._n_features: Optional[int] = None
@@ -76,33 +102,49 @@ class RandomForestRegressor:
         self._X_train = X
         self._y_train = y
         rngs = spawn_generators(self.random_state, self.n_estimators)
-        self._trees = []
-        self._oob_indices = []
         all_idx = np.arange(n)
-        for t, rng in enumerate(rngs):
+
+        # Draw every bootstrap sample up front (cheap, and keeps the draw
+        # order independent of the fitting schedule).
+        sample_indices: List[np.ndarray] = []
+        oob_indices: List[np.ndarray] = []
+        for rng in rngs:
             if self.bootstrap and n > 1:
                 sample_idx = rng.integers(0, n, size=n)
                 oob = np.setdiff1d(all_idx, np.unique(sample_idx), assume_unique=False)
             else:
                 sample_idx = all_idx
                 oob = np.empty(0, dtype=np.int64)
+            sample_indices.append(sample_idx)
+            oob_indices.append(oob)
+
+        def fit_one(t: int) -> DecisionTreeRegressor:
             tree = DecisionTreeRegressor(
                 max_depth=self.max_depth,
                 min_samples_split=self.min_samples_split,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
                 min_impurity_decrease=self.min_impurity_decrease,
-                random_state=rng,
+                random_state=rngs[t],
             )
-            tree.fit(X[sample_idx], y[sample_idx])
-            self._trees.append(tree)
-            self._oob_indices.append(oob)
+            return tree.fit(X[sample_indices[t]], y[sample_indices[t]])
+
+        workers = _resolve_n_jobs(self.n_jobs, self.n_estimators)
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                trees = list(pool.map(fit_one, range(self.n_estimators)))
+        else:
+            trees = [fit_one(t) for t in range(self.n_estimators)]
+
+        self._trees = trees
+        self._oob_indices = oob_indices
+        self._flat = FlatForest.from_trees(trees)
         return self
 
     # -- prediction -----------------------------------------------------------
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Mean prediction over all trees."""
-        return self.predict_with_std(X)[0]
+        return self.flat.predict(X)
 
     def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Mean and across-tree standard deviation of the prediction.
@@ -111,22 +153,19 @@ class RandomForestRegressor:
         by the uncertainty-weighted active-learning variant (an extension over
         the paper's plain Pareto-proximity sampling).
         """
-        self._require_fitted()
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
-        preds = np.empty((len(self._trees), X.shape[0]), dtype=np.float64)
-        for i, tree in enumerate(self._trees):
-            preds[i] = tree.predict(X)
-        return preds.mean(axis=0), preds.std(axis=0)
+        return self.flat.predict_with_std(X)
 
     def predict_all_trees(self, X: np.ndarray) -> np.ndarray:
         """Per-tree predictions as an ``(n_estimators, n_samples)`` matrix."""
-        self._require_fitted()
-        X = np.asarray(X, dtype=np.float64)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
-        return np.stack([tree.predict(X) for tree in self._trees], axis=0)
+        return self.flat.predict_all(X)
+
+    def predict_indexed(self, index: "PoolIndex") -> np.ndarray:
+        """Mean prediction over a pre-indexed static pool (bitset kernel)."""
+        return self.flat.predict_indexed(index)
+
+    def predict_with_std_indexed(self, index: "PoolIndex") -> Tuple[np.ndarray, np.ndarray]:
+        """Mean/std prediction over a pre-indexed static pool (bitset kernel)."""
+        return self.flat.predict_with_std_indexed(index)
 
     # -- quality metrics ---------------------------------------------------------
     def oob_error(self) -> float:
@@ -135,18 +174,21 @@ class RandomForestRegressor:
         if not self.bootstrap or self._X_train is None or self._y_train is None:
             return float("nan")
         n = self._X_train.shape[0]
+        # One flat traversal of the whole training set replaces per-tree
+        # predictions on each tree's out-of-bag subset.
+        preds = self.flat.predict_all(self._X_train)
         sums = np.zeros(n, dtype=np.float64)
         counts = np.zeros(n, dtype=np.int64)
-        for tree, oob in zip(self._trees, self._oob_indices):
+        for t, oob in enumerate(self._oob_indices):
             if oob.size == 0:
                 continue
-            sums[oob] += tree.predict(self._X_train[oob])
+            sums[oob] += preds[t, oob]
             counts[oob] += 1
         covered = counts > 0
         if not np.any(covered):
             return float("nan")
-        preds = sums[covered] / counts[covered]
-        return float(np.mean((preds - self._y_train[covered]) ** 2))
+        oob_pred = sums[covered] / counts[covered]
+        return float(np.mean((oob_pred - self._y_train[covered]) ** 2))
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Coefficient of determination R^2 on ``(X, y)``."""
@@ -172,6 +214,13 @@ class RandomForestRegressor:
         """Fitted trees (read-only view)."""
         self._require_fitted()
         return list(self._trees)
+
+    @property
+    def flat(self) -> FlatForest:
+        """The flattened node table used for batched inference."""
+        self._require_fitted()
+        assert self._flat is not None
+        return self._flat
 
     @property
     def n_features(self) -> int:

@@ -29,7 +29,7 @@ from repro.core.evaluator import (
 from repro.core.history import EvaluationRecord, History
 from repro.core.objectives import Objective, ObjectiveSet
 from repro.core.pareto import hypervolume_2d, pareto_front
-from repro.core.sampling import RandomSampler, Sampler, build_pool
+from repro.core.sampling import RandomSampler, Sampler, build_encoded_pool
 from repro.core.space import Configuration, DesignSpace
 from repro.core.surrogate import MultiObjectiveSurrogate
 from repro.utils.rng import RandomState, as_generator, derive_seed
@@ -196,24 +196,32 @@ class HyperMapper:
                 history.add(c, m, source="random", iteration=0)
 
         # --- Phase 2: configuration pool ----------------------------------------
+        # The pool is static for the whole run, so it is encoded exactly once
+        # here; every iteration fits from and predicts over the cached matrix.
         evaluated = history.configuration_set()
-        pool = build_pool(
+        encoded_pool = build_encoded_pool(
             self.space,
             self.pool_size,
             rng=rng,
             include=list(evaluated) + [self.space.default_configuration()],
         )
+        pool = encoded_pool.configs
 
         # --- Phase 3: active learning -----------------------------------------
         surrogate: Optional[MultiObjectiveSurrogate] = None
         reference = self._hypervolume_reference(history)
         for iteration in range(1, self.max_iterations + 1):
             surrogate = self._make_surrogate(iteration)
+            records = history.records
+            X_train = encoded_pool.rows_for(self.space, [r.config for r in records])
             with timer.lap("fit"):
-                surrogate.fit_history(history)
-            predicted_configs, predicted_values = surrogate.predicted_pareto(
-                pool, feasible_only=self.feasible_only
+                surrogate.fit_encoded(X_train, [r.metrics for r in records])
+            predicted_idx, predicted_values = surrogate.predicted_pareto_encoded(
+                encoded_pool.X,
+                feasible_only=self.feasible_only,
+                pool_index=encoded_pool.bitset_index,
             )
+            predicted_configs = [pool[int(i)] for i in predicted_idx]
             evaluated = history.configuration_set()
             new_configs = [c for c in predicted_configs if c not in evaluated]
             if self.max_samples_per_iteration is not None and len(new_configs) > self.max_samples_per_iteration:

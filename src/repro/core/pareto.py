@@ -12,7 +12,7 @@ work).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 
@@ -61,22 +61,34 @@ def pareto_mask(values: np.ndarray) -> np.ndarray:
 
 
 def _pareto_mask_2d(values: np.ndarray) -> np.ndarray:
-    """O(n log n) sweep for the bi-objective case."""
+    """Fully vectorized O(n log n) sweep for the bi-objective case.
+
+    After sorting by (first, second) objective, a point is non-dominated iff
+    its second objective strictly undercuts the running minimum of everything
+    before it.  Exact duplicates of a non-dominated point are also kept: in
+    the sorted order they form a contiguous run starting at the point that
+    achieved the minimum, so keep-status is broadcast across runs of
+    identical rows.
+    """
     n = values.shape[0]
+    f0, f1 = values[:, 0], values[:, 1]
     # Sort by first objective ascending, ties broken by second ascending.
-    order = np.lexsort((values[:, 1], values[:, 0]))
+    order = np.lexsort((f1, f0))
+    f1_sorted = f1[order]
+    # Running minimum of the second objective over strictly-preceding points.
+    prev_min = np.empty(n, dtype=np.float64)
+    prev_min[0] = np.inf
+    np.minimum.accumulate(f1_sorted[:-1], out=prev_min[1:])
+    keep_strict = f1_sorted < prev_min
+    # Runs of identical (f0, f1) rows inherit the keep-status of their head.
+    row_sorted = values[order]
+    run_head = np.empty(n, dtype=bool)
+    run_head[0] = True
+    run_head[1:] = np.any(row_sorted[1:] != row_sorted[:-1], axis=1)
+    run_id = np.cumsum(run_head) - 1
+    keep_sorted = keep_strict[np.flatnonzero(run_head)][run_id]
     mask = np.zeros(n, dtype=bool)
-    best_second = np.inf
-    best_first: Optional[float] = None
-    for idx in order:
-        f0, f1 = values[idx, 0], values[idx, 1]
-        if f1 < best_second:
-            mask[idx] = True
-            best_second = f1
-            best_first = f0
-        elif f1 == best_second and best_first is not None and f0 == best_first:
-            # exact duplicate of the current best point: keep it
-            mask[idx] = True
+    mask[order] = keep_sorted
     return mask
 
 
@@ -181,12 +193,10 @@ def hypervolume_2d(values: np.ndarray, reference: Sequence[float]) -> float:
     if pts.shape[0] == 0:
         return 0.0
     front = pareto_front(pts)
-    hv = 0.0
-    prev_f1 = ref[1]
-    for f0, f1 in front:
-        hv += (ref[0] - f0) * (prev_f1 - f1)
-        prev_f1 = f1
-    return float(hv)
+    # Left neighbor's height caps each point's dominated rectangle; the front
+    # is sorted by the first objective so the second is non-increasing.
+    prev_f1 = np.concatenate(([ref[1]], front[:-1, 1]))
+    return float(np.sum((ref[0] - front[:, 0]) * (prev_f1 - front[:, 1])))
 
 
 def front_coverage(front_a: np.ndarray, front_b: np.ndarray) -> float:
@@ -201,13 +211,11 @@ def front_coverage(front_a: np.ndarray, front_b: np.ndarray) -> float:
         return 0.0
     if a.shape[0] == 0:
         return 0.0
-    dominated = 0
-    for pb in b:
-        no_worse = np.all(a <= pb, axis=1)
-        strictly_better = np.any(a < pb, axis=1)
-        if np.any(no_worse & strictly_better):
-            dominated += 1
-    return dominated / b.shape[0]
+    # Pairwise dominance on a broadcast (n_a, n_b, m) grid.
+    no_worse = np.all(a[:, None, :] <= b[None, :, :], axis=2)
+    strictly_better = np.any(a[:, None, :] < b[None, :, :], axis=2)
+    dominated = np.any(no_worse & strictly_better, axis=0)
+    return float(dominated.sum() / b.shape[0])
 
 
 def nearest_front_distance(values: np.ndarray, front: np.ndarray) -> np.ndarray:

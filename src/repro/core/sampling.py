@@ -7,15 +7,20 @@ space over which the surrogate predicts.  Besides plain uniform random
 sampling we also provide Latin-hypercube sampling (a space-filling design used
 as an ablation) and grid sampling (the "expert brute-force grid search"
 baseline used by the ElasticFusion developers).
+
+:class:`EncodedPool` pairs a pool with its one-time numeric encoding so the
+active-learning loop never re-encodes an unchanged pool.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.flat_forest import PoolIndex
 from repro.core.space import Configuration, DesignSpace
 from repro.utils.rng import RandomState, as_generator
 
@@ -151,10 +156,82 @@ def build_pool(
     return pool
 
 
+@dataclass
+class EncodedPool:
+    """A configuration pool together with its one-time numeric encoding.
+
+    The pool the surrogate predicts over is static for a whole HyperMapper
+    run, so its feature matrix is computed exactly once and reused every
+    active-learning iteration.  Because every evaluated configuration is also
+    a pool member, fitting can gather training rows from the cached matrix
+    instead of re-encoding the history (:meth:`rows_for`).
+    """
+
+    configs: List[Configuration]
+    X: np.ndarray
+    _index: Dict[Configuration, int] = field(repr=False, default_factory=dict)
+    _extra_rows: Dict[Configuration, np.ndarray] = field(repr=False, default_factory=dict)
+    _bitset_index: Optional[PoolIndex] = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.X.shape[0] != len(self.configs):
+            raise ValueError("X must have one row per pool configuration")
+        if not self._index:
+            self._index = {c: i for i, c in enumerate(self.configs)}
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __contains__(self, config: Configuration) -> bool:
+        return config in self._index
+
+    @property
+    def bitset_index(self) -> PoolIndex:
+        """Packed-bitset index of the pool, built lazily and cached.
+
+        Feeds the flat forest's bitset kernel: per-iteration surrogate
+        prediction over the pool becomes byte-wise bitset arithmetic instead
+        of per-sample tree traversal.
+        """
+        if self._bitset_index is None:
+            self._bitset_index = PoolIndex(self.X)
+        return self._bitset_index
+
+    def rows_for(self, space: DesignSpace, configs: Sequence[Configuration]) -> np.ndarray:
+        """Encoded feature rows for ``configs``, reusing cached pool rows.
+
+        Configurations outside the pool (e.g. a warm-start history that was
+        never folded into the pool) are encoded once and memoized.
+        """
+        missing = [c for c in configs if c not in self._index and c not in self._extra_rows]
+        if missing:
+            encoded = space.encode(missing)
+            for c, row in zip(missing, encoded):
+                self._extra_rows[c] = row
+        rows = np.empty((len(configs), self.X.shape[1]), dtype=np.float64)
+        for i, c in enumerate(configs):
+            j = self._index.get(c)
+            rows[i] = self.X[j] if j is not None else self._extra_rows[c]
+        return rows
+
+
+def build_encoded_pool(
+    space: DesignSpace,
+    pool_size: Optional[int],
+    rng: RandomState = None,
+    include: Sequence[Configuration] = (),
+) -> EncodedPool:
+    """:func:`build_pool` plus a single up-front encoding of the result."""
+    configs = build_pool(space, pool_size, rng=rng, include=include)
+    return EncodedPool(configs=configs, X=space.encode(configs))
+
+
 __all__ = [
     "Sampler",
     "RandomSampler",
     "LatinHypercubeSampler",
     "GridSampler",
     "build_pool",
+    "EncodedPool",
+    "build_encoded_pool",
 ]

@@ -15,7 +15,12 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 import numpy as np
 
-from repro.core.parameters import Parameter, parameter_from_dict
+from repro.core.parameters import (
+    IntegerParameter,
+    Parameter,
+    RealParameter,
+    parameter_from_dict,
+)
 from repro.utils.rng import RandomState, as_generator
 
 
@@ -27,7 +32,12 @@ class Configuration(Mapping[str, Any]):
     predicted Pareto front and the already-evaluated samples.
     """
 
-    __slots__ = ("_names", "_values", "_hash")
+    __slots__ = ("_names", "_values", "_hash", "_index")
+
+    # Name→position lookup tables shared by every configuration with the same
+    # name tuple (one per design space in practice), so ``__getitem__`` is a
+    # dict hit instead of an O(n) ``tuple.index`` scan.
+    _INDEX_CACHE: Dict[Tuple[str, ...], Dict[str, int]] = {}
 
     def __init__(self, names: Sequence[str], values: Sequence[Any]) -> None:
         if len(names) != len(values):
@@ -35,6 +45,11 @@ class Configuration(Mapping[str, Any]):
         self._names: Tuple[str, ...] = tuple(names)
         self._values: Tuple[Any, ...] = tuple(values)
         self._hash = hash((self._names, self._values))
+        index = Configuration._INDEX_CACHE.get(self._names)
+        if index is None:
+            index = {n: i for i, n in enumerate(self._names)}
+            Configuration._INDEX_CACHE[self._names] = index
+        self._index = index
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any], order: Optional[Sequence[str]] = None) -> "Configuration":
@@ -48,9 +63,9 @@ class Configuration(Mapping[str, Any]):
     # Mapping protocol -------------------------------------------------------
     def __getitem__(self, key: str) -> Any:
         try:
-            return self._values[self._names.index(key)]
-        except ValueError as exc:
-            raise KeyError(key) from exc
+            return self._values[self._index[key]]
+        except KeyError:
+            raise KeyError(key) from None
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._names)
@@ -121,8 +136,10 @@ class DesignSpace:
         self.name = name
         self._parameters: List[Parameter] = list(parameters)
         self._by_name: Dict[str, Parameter] = {p.name: p for p in parameters}
+        self._param_names: Tuple[str, ...] = tuple(p.name for p in parameters)
         self._feature_names: List[str] = []
         self._feature_slices: Dict[str, slice] = {}
+        self._encode_luts: Dict[str, Optional[Dict[Any, float]]] = {}
         offset = 0
         for p in self._parameters:
             if p.is_categorical:
@@ -134,7 +151,27 @@ class DesignSpace:
                 self._feature_slices[p.name] = slice(offset, offset + 1)
                 self._feature_names.append(p.name)
                 offset += 1
+            self._encode_luts[p.name] = self._build_encode_lut(p)
         self._n_features = offset
+
+    @staticmethod
+    def _build_encode_lut(p: Parameter) -> Optional[Dict[Any, float]]:
+        """Value → encoded-feature lookup table for a discrete parameter.
+
+        Categorical parameters map to their one-hot column index, other
+        discrete parameters to their numeric feature value.  Parameters with
+        continuous or very large domains — or unhashable values (categorical
+        choices may be arbitrary objects) — return ``None`` and are encoded
+        via the per-value fallback instead.
+        """
+        try:
+            if p.is_categorical:
+                return {v: float(i) for i, v in enumerate(p.values())}
+            if p.is_discrete and p.cardinality <= 4096:
+                return {v: float(p.to_numeric(v)) for v in p.values()}
+        except TypeError:  # unhashable domain values
+            return None
+        return None
 
     # -- basic introspection -------------------------------------------------
     @classmethod
@@ -305,19 +342,56 @@ class DesignSpace:
 
         Ordinal/integer/real/boolean parameters map to a single column holding
         their numeric value; categorical parameters map to a one-hot block.
+        Encoding is columnar: values are pulled out per parameter and mapped
+        through a cached value→feature lookup table instead of calling
+        ``to_numeric`` / ``index_of`` once per configuration.
         """
         n = len(configs)
         X = np.zeros((n, self._n_features), dtype=np.float64)
-        for j, p in enumerate(self._parameters):
+        if n == 0:
+            return X
+        rows = np.arange(n)
+        for vals, p in zip(self._value_columns(configs), self._parameters):
             sl = self._feature_slices[p.name]
-            if p.is_categorical:
-                for i, c in enumerate(configs):
-                    idx = p.index_of(c[p.name])  # type: ignore[attr-defined]
-                    X[i, sl.start + idx] = 1.0
+            lut = self._encode_luts[p.name]
+            if lut is not None:
+                try:
+                    col = np.array(
+                        [lut[v] if v in lut else self._encode_fallback(p, v) for v in vals],
+                        dtype=np.float64,
+                    )
+                except TypeError:  # unhashable config value
+                    col = np.array([self._encode_fallback(p, v) for v in vals], dtype=np.float64)
+            elif p.is_categorical:
+                col = np.array([self._encode_fallback(p, v) for v in vals], dtype=np.float64)
+            elif isinstance(p, (IntegerParameter, RealParameter)):
+                # ``to_numeric`` is plain float conversion for these types.
+                col = np.asarray(vals, dtype=np.float64)
             else:
-                col = np.array([p.to_numeric(c[p.name]) for c in configs], dtype=np.float64)
+                col = np.array([p.to_numeric(v) for v in vals], dtype=np.float64)
+            if p.is_categorical:
+                X[rows, sl.start + col.astype(np.int64)] = 1.0
+            else:
                 X[:, sl.start] = col
         return X
+
+    @staticmethod
+    def _encode_fallback(p: Parameter, value: Any) -> float:
+        """Encode a value missing from the cached lookup table."""
+        if p.is_categorical:
+            return float(p.index_of(value))  # type: ignore[attr-defined]
+        return float(p.to_numeric(value))
+
+    def _value_columns(self, configs: Sequence[Mapping[str, Any]]) -> List[Sequence[Any]]:
+        """Per-parameter value columns of ``configs`` (space order).
+
+        Configurations laid out in space order expose their value tuples
+        directly; arbitrary mappings fall back to keyed access.
+        """
+        names = self._param_names
+        if all(isinstance(c, Configuration) and c.names == names for c in configs):
+            return list(zip(*(c.values_tuple for c in configs)))
+        return [[c[name] for c in configs] for name in names]
 
     def encode_one(self, config: Mapping[str, Any]) -> np.ndarray:
         """Encode a single configuration into a 1-D feature vector."""

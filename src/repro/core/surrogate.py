@@ -13,6 +13,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.flat_forest import PoolIndex
 from repro.core.forest import RandomForestRegressor
 from repro.core.history import History
 from repro.core.objectives import ObjectiveSet
@@ -51,6 +52,7 @@ class MultiObjectiveSurrogate:
         max_features=0.75,
         bootstrap: bool = True,
         log_objectives: Sequence[str] = (),
+        n_jobs: Optional[int] = None,
         random_state: RandomState = None,
     ) -> None:
         self.space = space
@@ -60,6 +62,7 @@ class MultiObjectiveSurrogate:
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
+        self.n_jobs = n_jobs
         self.log_objectives = set(log_objectives)
         unknown = self.log_objectives - set(objectives.names)
         if unknown:
@@ -74,7 +77,20 @@ class MultiObjectiveSurrogate:
             raise ValueError("configs and metrics must have the same length")
         if len(configs) == 0:
             raise ValueError("cannot fit a surrogate on zero samples")
-        X = self.space.encode(configs)
+        return self.fit_encoded(self.space.encode(configs), metrics)
+
+    def fit_encoded(self, X: np.ndarray, metrics: Sequence[Mapping[str, float]]) -> "MultiObjectiveSurrogate":
+        """Fit from an already-encoded ``(n, n_features)`` feature matrix.
+
+        The active-learning loop keeps one encoded copy of the configuration
+        pool and fits from row views of it, so configurations are never
+        re-encoded across iterations.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != len(metrics):
+            raise ValueError("X must be (n, n_features) with one row per metric dict")
+        if len(metrics) == 0:
+            raise ValueError("cannot fit a surrogate on zero samples")
         self._forests = {}
         for obj in self.objectives:
             y = np.array([float(m[obj.name]) for m in metrics], dtype=np.float64)
@@ -85,6 +101,7 @@ class MultiObjectiveSurrogate:
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
                 bootstrap=self.bootstrap,
+                n_jobs=self.n_jobs,
                 random_state=derive_seed(self.random_state, obj.name),
             )
             forest.fit(X, y_fit)
@@ -105,12 +122,42 @@ class MultiObjectiveSurrogate:
     def predict_with_std(self, configs: Sequence[Configuration]) -> Tuple[np.ndarray, np.ndarray]:
         """Predicted mean and across-tree std for every objective."""
         self._require_fitted()
-        X = self.space.encode(configs)
+        return self.predict_with_std_encoded(self.space.encode(configs))
+
+    def predict_encoded(self, X: np.ndarray, pool_index: Optional[PoolIndex] = None) -> np.ndarray:
+        """Predict the objective matrix from pre-encoded features.
+
+        When ``pool_index`` (the bitset index of a static pool whose encoding
+        is ``X``) is provided, prediction runs on the bitset kernel instead of
+        per-sample tree traversal — numerically identical, much faster.
+        Mean-only: the across-tree std reduction is skipped entirely (the
+        ``Predict_Pareto`` step of Algorithm 1 never needs it).
+        """
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        n = pool_index.n_samples if pool_index is not None else X.shape[0]
+        mean = np.empty((n, len(self.objectives)), dtype=np.float64)
+        for j, obj in enumerate(self.objectives):
+            forest = self._forests[obj.name]
+            m = forest.predict_indexed(pool_index) if pool_index is not None else forest.predict(X)
+            mean[:, j] = self._inverse_transform(obj.name, m)
+        return mean
+
+    def predict_with_std_encoded(
+        self, X: np.ndarray, pool_index: Optional[PoolIndex] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean/std prediction from an already-encoded feature matrix."""
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
         n = X.shape[0]
         mean = np.empty((n, len(self.objectives)), dtype=np.float64)
         std = np.empty((n, len(self.objectives)), dtype=np.float64)
         for j, obj in enumerate(self.objectives):
-            m, s = self._forests[obj.name].predict_with_std(X)
+            forest = self._forests[obj.name]
+            if pool_index is not None:
+                m, s = forest.predict_with_std_indexed(pool_index)
+            else:
+                m, s = forest.predict_with_std(X)
             mean[:, j] = self._inverse_transform(obj.name, m)
             # Propagate std through exp approximately for log-modelled objectives.
             if obj.name in self.log_objectives:
@@ -139,8 +186,29 @@ class MultiObjectiveSurrogate:
         """
         if len(pool) == 0:
             return [], np.empty((0, len(self.objectives)))
-        pred = self.predict(pool)
-        candidates = np.arange(len(pool))
+        idx, pred = self.predicted_pareto_encoded(self.space.encode(pool), feasible_only=feasible_only)
+        return [pool[int(i)] for i in idx], pred
+
+    def predicted_pareto_encoded(
+        self,
+        X: np.ndarray,
+        feasible_only: bool = True,
+        pool_index: Optional[PoolIndex] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predicted-Pareto row indices of a pre-encoded pool and their objectives.
+
+        Same semantics as :meth:`predicted_pareto` but operating on a cached
+        encoded pool matrix; returns ``(indices, predicted_values)`` where
+        ``indices`` selects the non-dominated rows of ``X``.  Passing the
+        pool's bitset ``pool_index`` routes prediction through the bitset
+        kernel.
+        """
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[0] == 0:
+            return np.empty(0, dtype=np.int64), np.empty((0, len(self.objectives)))
+        pred = self.predict_encoded(X, pool_index=pool_index)
+        candidates = np.arange(X.shape[0])
         if feasible_only:
             feas = self.objectives.feasibility_mask(pred)
             if np.any(feas):
@@ -148,7 +216,7 @@ class MultiObjectiveSurrogate:
         canonical = self.objectives.to_canonical(pred[candidates])
         mask = pareto_mask(canonical)
         idx = candidates[np.flatnonzero(mask)]
-        return [pool[int(i)] for i in idx], pred[idx]
+        return idx, pred[idx]
 
     # -- diagnostics ------------------------------------------------------------
     def oob_errors(self) -> Dict[str, float]:

@@ -171,21 +171,7 @@ class DecisionTreeRegressor:
             X = X.reshape(1, -1)
         if X.shape[1] != self._n_features:
             raise ValueError(f"expected {self._n_features} features, got {X.shape[1]}")
-        n = X.shape[0]
-        node_idx = np.zeros(n, dtype=np.int64)
-        # Walk all samples simultaneously until every one rests in a leaf.
-        while True:
-            feat = nodes.feature[node_idx]
-            internal = feat >= 0
-            if not np.any(internal):
-                break
-            rows = np.flatnonzero(internal)
-            f = feat[rows]
-            thr = nodes.threshold[node_idx[rows]]
-            go_left = X[rows, f] <= thr
-            next_idx = np.where(go_left, nodes.left[node_idx[rows]], nodes.right[node_idx[rows]])
-            node_idx[rows] = next_idx
-        return nodes.value[node_idx]
+        return nodes.value[self._apply_nodes(nodes, X)]
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Return the leaf node index each sample of ``X`` falls into."""
@@ -193,19 +179,29 @@ class DecisionTreeRegressor:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:
             X = X.reshape(1, -1)
-        n = X.shape[0]
-        node_idx = np.zeros(n, dtype=np.int64)
-        while True:
-            feat = nodes.feature[node_idx]
-            internal = feat >= 0
-            if not np.any(internal):
-                break
-            rows = np.flatnonzero(internal)
-            f = feat[rows]
-            thr = nodes.threshold[node_idx[rows]]
-            go_left = X[rows, f] <= thr
-            node_idx[rows] = np.where(go_left, nodes.left[node_idx[rows]], nodes.right[node_idx[rows]])
+        return self._apply_nodes(nodes, X)
+
+    @staticmethod
+    def _apply_nodes(nodes: _NodeArrays, X: np.ndarray) -> np.ndarray:
+        """Leaf index per sample via a level-synchronous descent.
+
+        Only samples still resting on internal nodes stay in the active set,
+        so each level's gathers shrink as samples settle into leaves.
+        """
+        node_idx = np.zeros(X.shape[0], dtype=np.int64)
+        active = np.flatnonzero(nodes.feature[node_idx] >= 0)
+        while active.size:
+            cur = node_idx[active]
+            go_left = X[active, nodes.feature[cur]] <= nodes.threshold[cur]
+            nxt = np.where(go_left, nodes.left[cur], nodes.right[cur])
+            node_idx[active] = nxt
+            active = active[nodes.feature[nxt] >= 0]
         return node_idx
+
+    @property
+    def node_arrays(self) -> _NodeArrays:
+        """Flat node-array representation of the fitted tree."""
+        return self._require_fitted()
 
     @property
     def n_nodes(self) -> int:
@@ -229,18 +225,17 @@ class DecisionTreeRegressor:
         assert self._n_features is not None
         importances = np.zeros(self._n_features, dtype=np.float64)
         total = nodes.n_samples[0]
-        for node_id in range(nodes.feature.size):
-            f = nodes.feature[node_id]
-            if f < 0:
-                continue
-            l_id, r_id = nodes.left[node_id], nodes.right[node_id]
-            n_node = nodes.n_samples[node_id]
+        internal = np.flatnonzero(nodes.feature >= 0)
+        if internal.size:
+            l_id = nodes.left[internal]
+            r_id = nodes.right[internal]
             decrease = (
-                n_node * nodes.impurity[node_id]
+                nodes.n_samples[internal] * nodes.impurity[internal]
                 - nodes.n_samples[l_id] * nodes.impurity[l_id]
                 - nodes.n_samples[r_id] * nodes.impurity[r_id]
             )
-            importances[f] += decrease / total
+            # Several internal nodes can split on the same feature.
+            np.add.at(importances, nodes.feature[internal], decrease / total)
         s = importances.sum()
         if s > 0:
             importances /= s

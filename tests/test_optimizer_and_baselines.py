@@ -255,3 +255,81 @@ class TestBaselines:
         hv_hm = hypervolume_2d(toy_objectives.to_canonical(hm_result.pareto_matrix()), ref)
         hv_rnd = hypervolume_2d(toy_objectives.to_canonical(rnd.pareto_matrix()), ref)
         assert hv_hm >= hv_rnd * 0.95
+
+
+class TestEncodedPoolCaching:
+    def test_run_encodes_pool_exactly_once(self, toy_space, toy_objectives, monkeypatch):
+        """Algorithm 1 predicts over a static pool: one encode call per run."""
+        from repro.core.space import DesignSpace
+
+        calls = []
+        original = DesignSpace.encode
+
+        def counting_encode(self, configs):
+            calls.append(len(configs))
+            return original(self, configs)
+
+        monkeypatch.setattr(DesignSpace, "encode", counting_encode)
+        hm = HyperMapper(
+            toy_space,
+            toy_objectives,
+            toy_evaluate,
+            n_random_samples=10,
+            max_iterations=3,
+            pool_size=None,
+            seed=5,
+        )
+        result = hm.run()
+        assert len(result.iterations) >= 2  # the loop actually iterated
+        assert len(calls) == 1
+        assert calls[0] == int(toy_space.cardinality)  # the full enumerated pool
+
+    def test_encoded_pool_rows_match_fresh_encoding(self, toy_space):
+        from repro.core.sampling import build_encoded_pool
+
+        pool = build_encoded_pool(toy_space, None, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(pool.X, toy_space.encode(pool.configs))
+        subset = [pool.configs[i] for i in (0, 5, 3, 5)]
+        np.testing.assert_array_equal(
+            pool.rows_for(toy_space, subset), toy_space.encode(subset)
+        )
+
+    def test_encoded_pool_handles_out_of_pool_configs(self, toy_space):
+        from repro.core.sampling import EncodedPool
+
+        members = toy_space.sample(6, rng=np.random.default_rng(1))
+        pool = EncodedPool(configs=members, X=toy_space.encode(members))
+        outsider = next(
+            c for c in toy_space.enumerate() if c not in set(members)
+        )
+        rows = pool.rows_for(toy_space, [members[0], outsider, outsider])
+        np.testing.assert_array_equal(rows, toy_space.encode([members[0], outsider, outsider]))
+        assert outsider not in pool and members[0] in pool
+
+    def test_encoded_prediction_paths_agree(self, toy_space, toy_objectives):
+        configs = toy_space.sample(24, rng=np.random.default_rng(2))
+        metrics = [toy_evaluate(c) for c in configs]
+        surrogate = MultiObjectiveSurrogate(toy_space, toy_objectives, n_estimators=8, random_state=0)
+        surrogate.fit(configs, metrics)
+        pool = toy_space.enumerate()
+        X_pool = toy_space.encode(pool)
+        mean_c, std_c = surrogate.predict_with_std(pool)
+        mean_e, std_e = surrogate.predict_with_std_encoded(X_pool)
+        np.testing.assert_array_equal(mean_c, mean_e)
+        np.testing.assert_array_equal(std_c, std_e)
+        cfgs, vals = surrogate.predicted_pareto(pool)
+        idx, vals_e = surrogate.predicted_pareto_encoded(X_pool)
+        assert cfgs == [pool[int(i)] for i in idx]
+        np.testing.assert_array_equal(vals, vals_e)
+
+    def test_surrogate_n_jobs_deterministic(self, toy_space, toy_objectives):
+        configs = toy_space.sample(20, rng=np.random.default_rng(3))
+        metrics = [toy_evaluate(c) for c in configs]
+        serial = MultiObjectiveSurrogate(toy_space, toy_objectives, n_estimators=8, random_state=4)
+        threaded = MultiObjectiveSurrogate(
+            toy_space, toy_objectives, n_estimators=8, n_jobs=4, random_state=4
+        )
+        serial.fit(configs, metrics)
+        threaded.fit(configs, metrics)
+        pool = toy_space.enumerate()
+        np.testing.assert_array_equal(serial.predict(pool), threaded.predict(pool))

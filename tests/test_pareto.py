@@ -161,3 +161,102 @@ class TestCoverageAndDistance:
     def test_empty_front_gives_inf(self):
         d = nearest_front_distance(np.array([[0.0, 1.0]]), np.empty((0, 2)))
         assert np.isinf(d[0])
+
+
+def _pareto_mask_reference(values: np.ndarray) -> np.ndarray:
+    """O(n^2) per-pair dominance reference for the vectorized 2-D sweep."""
+    n = values.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if i != j and dominates(values[j], values[i]):
+                mask[i] = False
+                break
+    return mask
+
+
+class TestVectorized2DSweep:
+    """Property tests of the lexsort + minimum.accumulate Pareto sweep."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 40), st.just(2)),
+            # A tiny value alphabet forces many duplicated and degenerate
+            # (tied-coordinate) points.
+            elements=st.sampled_from([0.0, 1.0, 2.0, 3.0]),
+        )
+    )
+    def test_matches_pairwise_reference_on_degenerate_grids(self, values):
+        from repro.core.pareto import _pareto_mask_2d
+
+        assert np.array_equal(_pareto_mask_2d(values), _pareto_mask_reference(values))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 60), st.just(2)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_matches_pairwise_reference_on_floats(self, values):
+        from repro.core.pareto import _pareto_mask_2d
+
+        assert np.array_equal(_pareto_mask_2d(values), _pareto_mask_reference(values))
+
+    def test_all_identical_points_kept(self):
+        values = np.tile([[2.0, 3.0]], (7, 1))
+        assert pareto_mask(values).all()
+
+    def test_duplicate_dominated_points_all_dropped(self):
+        values = np.array([[1.0, 1.0], [2.0, 2.0], [2.0, 2.0], [1.0, 1.0]])
+        assert pareto_mask(values).tolist() == [True, False, False, True]
+
+    def test_tied_first_objective(self):
+        values = np.array([[1.0, 5.0], [1.0, 4.0], [1.0, 6.0]])
+        assert pareto_mask(values).tolist() == [False, True, False]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(0, 25), st.just(2)),
+            elements=st.sampled_from([0.0, 0.5, 1.0]),
+        )
+    )
+    def test_hypervolume_matches_loop_reference(self, values):
+        ref = np.array([1.25, 1.25])
+        keep = np.all(values < ref, axis=1)
+        pts = values[keep]
+        expected = 0.0
+        if pts.shape[0]:
+            front = pareto_front(pts)
+            prev = ref[1]
+            for f0, f1 in front:
+                expected += (ref[0] - f0) * (prev - f1)
+                prev = f1
+        assert hypervolume_2d(values, ref) == pytest.approx(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(0, 15), st.just(2)),
+            elements=st.sampled_from([0.0, 1.0, 2.0]),
+        ),
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(0, 15), st.just(2)),
+            elements=st.sampled_from([0.0, 1.0, 2.0]),
+        ),
+    )
+    def test_front_coverage_matches_loop_reference(self, a, b):
+        expected = 0.0
+        if a.shape[0] and b.shape[0]:
+            dominated = sum(
+                1 for pb in b if any(dominates(pa, pb) for pa in a)
+            )
+            expected = dominated / b.shape[0]
+        assert front_coverage(a, b) == pytest.approx(expected)

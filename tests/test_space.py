@@ -148,3 +148,87 @@ class TestDesignSpace:
             vec = space.encode_one(config)
             assert vec.shape == (space.n_features,)
             assert np.all(np.isfinite(vec))
+
+
+class TestVectorizedEncode:
+    """The columnar encode path must match a per-config/per-value reference."""
+
+    @staticmethod
+    def _encode_reference(space, configs):
+        n = len(configs)
+        X = np.zeros((n, space.n_features), dtype=np.float64)
+        for p in space.parameters:
+            sl = space.feature_slice(p.name)
+            if p.is_categorical:
+                for i, c in enumerate(configs):
+                    X[i, sl.start + p.index_of(c[p.name])] = 1.0
+            else:
+                X[:, sl.start] = [p.to_numeric(c[p.name]) for c in configs]
+        return X
+
+    def test_matches_reference_on_random_configs(self, space):
+        configs = space.sample(40, rng=np.random.default_rng(0), distinct=False)
+        np.testing.assert_array_equal(space.encode(configs), self._encode_reference(space, configs))
+
+    def test_matches_reference_with_real_and_integer_params(self):
+        from repro.core.parameters import IntegerParameter
+
+        mixed = DesignSpace(
+            [
+                RealParameter("lr", 1e-4, 1.0, log_scale=True),
+                IntegerParameter("k", 1, 100_000),
+                OrdinalParameter("word", ["lo", "mid", "hi"]),
+                CategoricalParameter("dev", ["cpu", "gpu"]),
+            ],
+            name="mixed",
+        )
+        configs = mixed.sample(30, rng=np.random.default_rng(1), distinct=False)
+        np.testing.assert_array_equal(mixed.encode(configs), self._encode_reference(mixed, configs))
+
+    def test_plain_dict_configs_still_encode(self, space):
+        dicts = [dict(c) for c in space.sample(10, rng=np.random.default_rng(2))]
+        as_configs = [space.configuration(d) for d in dicts]
+        np.testing.assert_array_equal(space.encode(dicts), space.encode(as_configs))
+
+    def test_empty_input(self, space):
+        X = space.encode([])
+        assert X.shape == (0, space.n_features)
+
+    def test_encode_one_consistent(self, space):
+        c = space.default_configuration()
+        np.testing.assert_array_equal(space.encode_one(c), space.encode([c])[0])
+
+
+class TestConfigurationIndexCache:
+    def test_getitem_unknown_key_raises_keyerror(self):
+        c = Configuration(["a", "b"], [1, 2])
+        with pytest.raises(KeyError):
+            c["zzz"]
+
+    def test_index_shared_between_same_name_tuples(self):
+        c1 = Configuration(["a", "b"], [1, 2])
+        c2 = Configuration(["a", "b"], [3, 4])
+        assert c1._index is c2._index
+
+    def test_distinct_name_tuples_get_distinct_indices(self):
+        c1 = Configuration(["a", "b"], [1, 2])
+        c2 = Configuration(["x", "y"], [1, 2])
+        assert c1._index is not c2._index
+        assert c2["x"] == 1 and c2["y"] == 2
+
+
+def test_unhashable_categorical_choices_still_encode():
+    # Categorical choices may be arbitrary (even unhashable) objects;
+    # the cached-LUT fast path must degrade to the index_of fallback.
+    tricky = DesignSpace(
+        [
+            CategoricalParameter("perm", [[0, 1], [1, 0]]),
+            OrdinalParameter("k", [1, 2, 4]),
+        ],
+        name="tricky",
+    )
+    configs = [{"perm": [1, 0], "k": 2}, {"perm": [0, 1], "k": 4}]
+    X = tricky.encode(configs)
+    np.testing.assert_array_equal(
+        X, TestVectorizedEncode._encode_reference(tricky, configs)
+    )
