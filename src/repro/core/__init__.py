@@ -23,11 +23,12 @@ from repro.core.parameters import (
     CategoricalParameter,
     BooleanParameter,
 )
-from repro.core.space import Configuration, DesignSpace
+from repro.core.space import Configuration, DesignSpace, EnumeratedConfigs
 from repro.core.objectives import Objective, ObjectiveSet
 from repro.core.forest import RandomForestRegressor
 from repro.core.flat_forest import FlatForest, PoolIndex
 from repro.core.tree import DecisionTreeRegressor
+from repro.core.tree_builder import BinMapper, grow_tree_hist
 from repro.core.pareto import (
     pareto_mask,
     pareto_front,
@@ -64,12 +65,15 @@ __all__ = [
     "BooleanParameter",
     "Configuration",
     "DesignSpace",
+    "EnumeratedConfigs",
     "Objective",
     "ObjectiveSet",
     "RandomForestRegressor",
     "FlatForest",
     "PoolIndex",
     "DecisionTreeRegressor",
+    "BinMapper",
+    "grow_tree_hist",
     "pareto_mask",
     "pareto_front",
     "dominates",

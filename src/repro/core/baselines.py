@@ -207,11 +207,13 @@ class EvolutionarySearch(_BaseSearch):
 
     def run(self, budget: int) -> HyperMapperResult:
         """Evolve a population until the evaluation ``budget`` is used."""
-        if budget < self.population_size:
-            raise ValueError("budget must be at least population_size")
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
         rng = as_generator(derive_seed(self.seed, "evolutionary-search"))
         history = History(self.objectives)
-        population = RandomSampler(self.space).sample(self.population_size, rng=rng)
+        # Tiny budgets (smoke-scale ablations) shrink the initial population
+        # rather than erroring out; the run degenerates to random sampling.
+        population = RandomSampler(self.space).sample(min(self.population_size, budget), rng=rng)
         records = self._evaluate(history, population, iteration=0)
         used = len(records)
         generation = 0

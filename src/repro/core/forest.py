@@ -11,6 +11,14 @@ concatenated into a single :class:`~repro.core.flat_forest.FlatForest` node
 table; all batch prediction (``predict`` / ``predict_with_std`` /
 ``predict_all_trees`` / ``oob_error``) traverses that table in one vectorized
 pass instead of looping over trees in Python.
+
+Fitting runs on the histogram engine by default (``splitter="hist"``): the
+feature matrix is quantized once by a shared
+:class:`~repro.core.tree_builder.BinMapper` (callers owning a static pool can
+pass their own mapper and pre-binned rows so nothing is re-quantized across
+refits), and bootstrap resamples are per-row integer weight vectors over that
+single binned matrix instead of materialized row copies — out-of-bag rows are
+simply the rows whose weight is zero.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import numpy as np
 
 from repro.core.flat_forest import FlatForest, PoolIndex
 from repro.core.tree import DecisionTreeRegressor, MaxFeatures
+from repro.core.tree_builder import MAX_BINS, BinMapper
 from repro.utils.rng import RandomState, spawn_generators
 
 
@@ -47,6 +56,12 @@ class RandomForestRegressor:
         Passed to each :class:`~repro.core.tree.DecisionTreeRegressor`.
     bootstrap:
         Whether each tree trains on a bootstrap resample of the data.
+    splitter:
+        Split engine passed to every tree: ``"hist"`` (default, binned
+        weight-vector fitting) or ``"exact"`` (reference sort-based search
+        on materialized resamples).
+    max_bins:
+        Per-feature bin budget for the histogram engine.
     n_jobs:
         Trees fitted concurrently (``None``/1 serial, ``-1`` one worker per
         core).  Threads suffice: split search is NumPy-heavy and releases the
@@ -65,11 +80,15 @@ class RandomForestRegressor:
         max_features: MaxFeatures = 0.75,
         min_impurity_decrease: float = 0.0,
         bootstrap: bool = True,
+        splitter: str = "hist",
+        max_bins: int = MAX_BINS,
         n_jobs: Optional[int] = None,
         random_state: RandomState = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
+        if splitter not in ("hist", "exact"):
+            raise ValueError(f"splitter must be 'hist' or 'exact', got {splitter!r}")
         self.n_estimators = int(n_estimators)
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
@@ -77,6 +96,8 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.min_impurity_decrease = min_impurity_decrease
         self.bootstrap = bool(bootstrap)
+        self.splitter = splitter
+        self.max_bins = int(max_bins)
         self.n_jobs = n_jobs
         self.random_state = random_state
         self._trees: List[DecisionTreeRegressor] = []
@@ -85,10 +106,25 @@ class RandomForestRegressor:
         self._X_train: Optional[np.ndarray] = None
         self._y_train: Optional[np.ndarray] = None
         self._n_features: Optional[int] = None
+        self._bin_mapper: Optional[BinMapper] = None
 
     # -- fitting ---------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
-        """Fit the forest on features ``X`` and targets ``y``."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        bin_mapper: Optional[BinMapper] = None,
+        prebinned: Optional[np.ndarray] = None,
+    ) -> "RandomForestRegressor":
+        """Fit the forest on features ``X`` and targets ``y``.
+
+        ``bin_mapper`` (histogram splitter only) supplies a pre-fitted
+        :class:`~repro.core.tree_builder.BinMapper` — typically the one cached
+        on the active-learning run's encoded pool — and ``prebinned`` the
+        matching bin-index rows for ``X``, so repeated refits across
+        iterations never re-derive bins or re-quantize anything.
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2:
@@ -97,6 +133,8 @@ class RandomForestRegressor:
             raise ValueError("X and y have inconsistent lengths")
         if X.shape[0] == 0:
             raise ValueError("cannot fit a forest on an empty dataset")
+        if prebinned is not None and bin_mapper is None:
+            raise ValueError("prebinned rows require the bin_mapper that produced them")
         n = X.shape[0]
         self._n_features = X.shape[1]
         self._X_train = X
@@ -104,18 +142,35 @@ class RandomForestRegressor:
         rngs = spawn_generators(self.random_state, self.n_estimators)
         all_idx = np.arange(n)
 
-        # Draw every bootstrap sample up front (cheap, and keeps the draw
-        # order independent of the fitting schedule).
+        hist = self.splitter == "hist"
+        if hist:
+            mapper = bin_mapper if bin_mapper is not None else BinMapper(self.max_bins).fit(X)
+            binned = prebinned if prebinned is not None else mapper.transform(X)
+            binned = np.ascontiguousarray(binned, dtype=np.uint8)
+            if binned.shape != X.shape:
+                raise ValueError("prebinned must have the same shape as X")
+            self._bin_mapper = mapper
+        else:
+            self._bin_mapper = None
+
+        # Draw every bootstrap resample up front (cheap, and keeps the draw
+        # order independent of the fitting schedule).  The histogram engine
+        # represents each resample as an integer per-row weight vector over
+        # the one shared binned matrix; out-of-bag rows are weight == 0.
         sample_indices: List[np.ndarray] = []
+        weight_vectors: List[Optional[np.ndarray]] = []
         oob_indices: List[np.ndarray] = []
         for rng in rngs:
             if self.bootstrap and n > 1:
                 sample_idx = rng.integers(0, n, size=n)
-                oob = np.setdiff1d(all_idx, np.unique(sample_idx), assume_unique=False)
+                weights = np.bincount(sample_idx, minlength=n)
+                oob = np.flatnonzero(weights == 0)
             else:
                 sample_idx = all_idx
+                weights = None
                 oob = np.empty(0, dtype=np.int64)
             sample_indices.append(sample_idx)
+            weight_vectors.append(weights)
             oob_indices.append(oob)
 
         def fit_one(t: int) -> DecisionTreeRegressor:
@@ -125,8 +180,14 @@ class RandomForestRegressor:
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
                 min_impurity_decrease=self.min_impurity_decrease,
+                splitter=self.splitter,
+                max_bins=self.max_bins,
                 random_state=rngs[t],
             )
+            if hist:
+                return tree.fit_binned(
+                    binned, y, mapper.bin_thresholds_, sample_weight=weight_vectors[t]
+                )
             return tree.fit(X[sample_indices[t]], y[sample_indices[t]])
 
         workers = _resolve_n_jobs(self.n_jobs, self.n_estimators)
@@ -221,6 +282,12 @@ class RandomForestRegressor:
         self._require_fitted()
         assert self._flat is not None
         return self._flat
+
+    @property
+    def bin_mapper(self) -> Optional[BinMapper]:
+        """The bin mapper used by the histogram engine (``None`` for exact)."""
+        self._require_fitted()
+        return self._bin_mapper
 
     @property
     def n_features(self) -> int:

@@ -213,9 +213,26 @@ class HyperMapper:
         for iteration in range(1, self.max_iterations + 1):
             surrogate = self._make_surrogate(iteration)
             records = history.records
-            X_train = encoded_pool.rows_for(self.space, [r.config for r in records])
+            train_configs = [r.config for r in records]
+            X_train = encoded_pool.rows_for(self.space, train_configs)
+            if surrogate.splitter == "hist" and surrogate.max_bins == encoded_pool.bin_mapper.max_bins:
+                # Share the pool's one-time quantization with every forest of
+                # every refit: training rows are uint8 gathers from the cached
+                # binned pool matrix.
+                bin_mapper = encoded_pool.bin_mapper
+                prebinned = encoded_pool.binned_rows_for(self.space, train_configs)
+            else:
+                # Exact splitter, or a custom max_bins the pool cache was not
+                # built with — let the surrogate derive its own quantization.
+                bin_mapper = None
+                prebinned = None
             with timer.lap("fit"):
-                surrogate.fit_encoded(X_train, [r.metrics for r in records])
+                surrogate.fit_encoded(
+                    X_train,
+                    [r.metrics for r in records],
+                    bin_mapper=bin_mapper,
+                    prebinned=prebinned,
+                )
             predicted_idx, predicted_values = surrogate.predicted_pareto_encoded(
                 encoded_pool.X,
                 feasible_only=self.feasible_only,

@@ -21,8 +21,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.flat_forest import PoolIndex
-from repro.core.space import Configuration, DesignSpace
+from repro.core.space import Configuration, DesignSpace, EnumeratedConfigs
+from repro.core.tree_builder import BinMapper
 from repro.utils.rng import RandomState, as_generator
+
+#: Spaces up to this many configurations are fully enumerated into the pool
+#: (columnar-ly), matching the paper's "predict the performance over the
+#: entire parameter space" at crowd scale (~1.8M KFusion configurations).
+FULL_ENUMERATION_CAP = 2_000_000
 
 
 class Sampler(ABC):
@@ -126,6 +132,15 @@ class GridSampler(Sampler):
         return [grid[int(i)] for i in idx]
 
 
+def _should_enumerate(space: DesignSpace, pool_size: Optional[int]) -> bool:
+    """Whether the pool should be the fully enumerated space."""
+    return (
+        space.is_enumerable
+        and (pool_size is None or space.cardinality <= pool_size)
+        and space.cardinality <= FULL_ENUMERATION_CAP
+    )
+
+
 def build_pool(
     space: DesignSpace,
     pool_size: Optional[int],
@@ -141,8 +156,7 @@ def build_pool(
     drawn, and ``include`` configurations (e.g. the default) are guaranteed to
     be present.
     """
-    full_enumeration_cap = 200_000
-    if space.is_enumerable and (pool_size is None or space.cardinality <= pool_size) and space.cardinality <= full_enumeration_cap:
+    if _should_enumerate(space, pool_size):
         pool = space.enumerate()
     else:
         if pool_size is None:
@@ -165,25 +179,45 @@ class EncodedPool:
     active-learning iteration.  Because every evaluated configuration is also
     a pool member, fitting can gather training rows from the cached matrix
     instead of re-encoding the history (:meth:`rows_for`).
+
+    Two further per-run caches hang off the pool: the packed-bitset
+    :attr:`bitset_index` feeding the flat forest's inference kernel, and the
+    :attr:`bin_mapper`/:attr:`binned` quantization feeding the histogram
+    *fitting* engine — every refit of every tree across all iterations bins
+    against the same ≤255-bin ``uint8`` matrix derived here exactly once.
+
+    ``configs`` may be a lazy :class:`~repro.core.space.EnumeratedConfigs`
+    view, in which case membership/row lookups use its closed-form ranking
+    and no config→row dictionary is built at all.
     """
 
-    configs: List[Configuration]
+    configs: Sequence[Configuration]
     X: np.ndarray
     _index: Dict[Configuration, int] = field(repr=False, default_factory=dict)
     _extra_rows: Dict[Configuration, np.ndarray] = field(repr=False, default_factory=dict)
+    _extra_binned: Dict[Configuration, np.ndarray] = field(repr=False, default_factory=dict)
     _bitset_index: Optional[PoolIndex] = field(repr=False, default=None)
+    _bin_mapper: Optional[BinMapper] = field(repr=False, default=None)
+    _binned: Optional[np.ndarray] = field(repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.X.shape[0] != len(self.configs):
             raise ValueError("X must have one row per pool configuration")
-        if not self._index:
+        self._lazy = self.configs if isinstance(self.configs, EnumeratedConfigs) else None
+        if self._lazy is None and not self._index:
             self._index = {c: i for i, c in enumerate(self.configs)}
 
     def __len__(self) -> int:
         return len(self.configs)
 
     def __contains__(self, config: Configuration) -> bool:
-        return config in self._index
+        return self._position(config) is not None
+
+    def _position(self, config: Configuration) -> Optional[int]:
+        """Pool row of ``config`` (``None`` when it is not a member)."""
+        if self._lazy is not None:
+            return self._lazy.index_of(config)
+        return self._index.get(config)
 
     @property
     def bitset_index(self) -> PoolIndex:
@@ -197,21 +231,58 @@ class EncodedPool:
             self._bitset_index = PoolIndex(self.X)
         return self._bitset_index
 
+    @property
+    def bin_mapper(self) -> BinMapper:
+        """Per-run feature quantization, derived from the pool matrix once."""
+        if self._bin_mapper is None:
+            self._bin_mapper = BinMapper().fit(self.X)
+        return self._bin_mapper
+
+    @property
+    def binned(self) -> np.ndarray:
+        """``uint8`` binned pool matrix (lazy, cached; see :attr:`bin_mapper`)."""
+        if self._binned is None:
+            self._binned = self.bin_mapper.transform(self.X)
+        return self._binned
+
     def rows_for(self, space: DesignSpace, configs: Sequence[Configuration]) -> np.ndarray:
         """Encoded feature rows for ``configs``, reusing cached pool rows.
 
         Configurations outside the pool (e.g. a warm-start history that was
         never folded into the pool) are encoded once and memoized.
         """
-        missing = [c for c in configs if c not in self._index and c not in self._extra_rows]
+        missing = [
+            c for c in configs if self._position(c) is None and c not in self._extra_rows
+        ]
         if missing:
             encoded = space.encode(missing)
             for c, row in zip(missing, encoded):
                 self._extra_rows[c] = row
         rows = np.empty((len(configs), self.X.shape[1]), dtype=np.float64)
         for i, c in enumerate(configs):
-            j = self._index.get(c)
+            j = self._position(c)
             rows[i] = self.X[j] if j is not None else self._extra_rows[c]
+        return rows
+
+    def binned_rows_for(self, space: DesignSpace, configs: Sequence[Configuration]) -> np.ndarray:
+        """Binned feature rows for ``configs``, gathered from :attr:`binned`.
+
+        The histogram fitting path's analogue of :meth:`rows_for`:
+        pool members are row gathers from the cached binned matrix,
+        out-of-pool configurations are quantized once and memoized.
+        """
+        binned = self.binned
+        missing = [
+            c for c in configs if self._position(c) is None and c not in self._extra_binned
+        ]
+        if missing:
+            quantized = self.bin_mapper.transform(self.rows_for(space, missing))
+            for c, row in zip(missing, quantized):
+                self._extra_binned[c] = row
+        rows = np.empty((len(configs), binned.shape[1]), dtype=np.uint8)
+        for i, c in enumerate(configs):
+            j = self._position(c)
+            rows[i] = binned[j] if j is not None else self._extra_binned[c]
         return rows
 
 
@@ -221,7 +292,24 @@ def build_encoded_pool(
     rng: RandomState = None,
     include: Sequence[Configuration] = (),
 ) -> EncodedPool:
-    """:func:`build_pool` plus a single up-front encoding of the result."""
+    """:func:`build_pool` plus a single up-front encoding of the result.
+
+    Fully enumerable spaces take the columnar fast path: the encoded matrix
+    is built straight from the cartesian-product index grids
+    (:meth:`~repro.core.space.DesignSpace.encode_enumerated`) and the config
+    sequence stays a lazy :class:`~repro.core.space.EnumeratedConfigs` view —
+    a crowd-scale 1.8M-configuration pool never materializes per-config
+    Python objects at all.
+    """
+    if _should_enumerate(space, pool_size):
+        configs = EnumeratedConfigs(space)
+        missing = [c for c in include if configs.index_of(c) is None]
+        if not missing:
+            return EncodedPool(configs=configs, X=space.encode_enumerated())
+        # Rare fallback: an include configuration outside the space's own
+        # product (e.g. a warm-start history from another space variant).
+        pool = space.enumerate() + missing
+        return EncodedPool(configs=pool, X=space.encode(pool))
     configs = build_pool(space, pool_size, rng=rng, include=include)
     return EncodedPool(configs=configs, X=space.encode(configs))
 
@@ -234,4 +322,5 @@ __all__ = [
     "build_pool",
     "EncodedPool",
     "build_encoded_pool",
+    "FULL_ENUMERATION_CAP",
 ]

@@ -112,6 +112,32 @@ class Configuration(Mapping[str, Any]):
         d.update(updates)
         return Configuration(self._names, [d[n] for n in self._names])
 
+    @classmethod
+    def batch(
+        cls, names: Sequence[str], value_rows: Iterable[Tuple[Any, ...]]
+    ) -> List["Configuration"]:
+        """Build many configurations sharing one name tuple in one pass.
+
+        The fast path behind columnar enumeration: the name tuple and its
+        name→position table are resolved once, then each instance is stamped
+        out directly — roughly half the cost of ``Configuration(...)`` per
+        row, which matters when materializing 10^5–10^6 pool members.
+        """
+        names_t = tuple(names)
+        index = cls._INDEX_CACHE.get(names_t)
+        if index is None:
+            index = {n: i for i, n in enumerate(names_t)}
+            cls._INDEX_CACHE[names_t] = index
+        out: List[Configuration] = []
+        for values in value_rows:
+            c = object.__new__(cls)
+            c._names = names_t
+            c._values = values
+            c._hash = hash((names_t, values))
+            c._index = index
+            out.append(c)
+        return out
+
 
 class DesignSpace:
     """An ordered collection of :class:`Parameter` objects.
@@ -290,17 +316,67 @@ class DesignSpace:
         return configs[:n]
 
     def enumerate(self, limit: Optional[int] = None) -> List[Configuration]:
-        """Enumerate every configuration of a finite space (optionally capped)."""
+        """Enumerate every configuration of a finite space (optionally capped).
+
+        Configurations come out in :func:`itertools.product` order (last
+        parameter varying fastest) but are generated columnar-ly: the
+        cartesian product is laid out as per-parameter NumPy index columns
+        and the :class:`Configuration` objects are stamped out in one batch.
+        """
+        cols = self.enumeration_columns(limit)
+        value_lists = [p.values() for p in self._parameters]
+        value_cols = [
+            [values[i] for i in idx.tolist()] for values, idx in zip(value_lists, cols)
+        ]
+        return Configuration.batch(self._param_names, zip(*value_cols))
+
+    def enumeration_columns(self, limit: Optional[int] = None) -> List[np.ndarray]:
+        """Per-parameter value-*index* columns of the full cartesian product.
+
+        Column ``j`` holds, for every configuration of the product (in
+        :meth:`enumerate` order), the index into ``parameters[j].values()`` of
+        that configuration's value.  Built with ``np.repeat``/``np.tile``
+        instead of a Python product loop, so crowd-scale spaces (the paper's
+        ~1.8M-configuration KFusion space) enumerate in milliseconds.
+        """
         if not self.is_enumerable:
             raise ValueError(f"design space {self.name!r} is not enumerable")
-        value_lists = [p.values() for p in self._parameters]
-        names = self.parameter_names
-        out: List[Configuration] = []
-        for combo in itertools.product(*value_lists):
-            out.append(Configuration(names, list(combo)))
-            if limit is not None and len(out) >= limit:
-                break
-        return out
+        shape = [int(p.cardinality) for p in self._parameters]
+        total = 1
+        for k in shape:
+            total *= k
+        count = total if limit is None else max(0, min(int(limit), total))
+        cols: List[np.ndarray] = []
+        inner = total
+        for k in shape:
+            inner //= k
+            block = k * inner
+            reps = -(-count // block) if count else 0  # ceil division
+            col = np.tile(np.repeat(np.arange(k, dtype=np.int64), inner), reps)[:count]
+            cols.append(col)
+        return cols
+
+    def encode_enumerated(self, limit: Optional[int] = None) -> np.ndarray:
+        """Encoded feature matrix of the full cartesian product.
+
+        Equivalent to ``self.encode(self.enumerate(limit))`` but built
+        directly from the columnar index grids — no ``Configuration`` objects,
+        no per-value Python mapping — so a full crowd-scale pool encodes in
+        one vectorized pass per parameter.
+        """
+        cols = self.enumeration_columns(limit)
+        n = int(cols[0].size) if cols else 0
+        X = np.zeros((n, self._n_features), dtype=np.float64)
+        if n == 0:
+            return X
+        for p, idx in zip(self._parameters, cols):
+            sl = self._feature_slices[p.name]
+            if p.is_categorical:
+                X[np.arange(n), sl.start + idx] = 1.0
+            else:
+                numeric = np.array([p.to_numeric(v) for v in p.values()], dtype=np.float64)
+                X[:, sl.start] = numeric[idx]
+        return X
 
     def iter_enumerate(self) -> Iterator[Configuration]:
         """Lazily iterate over every configuration of a finite space."""
@@ -431,4 +507,94 @@ class DesignSpace:
         return f"DesignSpace(name={self.name!r}, dimension={self.dimension}, cardinality={self.cardinality})"
 
 
-__all__ = ["Configuration", "DesignSpace"]
+class EnumeratedConfigs(Sequence[Configuration]):
+    """Lazy, constant-memory view of a finite space's full enumeration.
+
+    Behaves like ``space.enumerate()`` (same order, same elements) without
+    materializing one ``Configuration`` per point: items are stamped out on
+    access from the mixed-radix decomposition of their rank.  Because the
+    sequence *is* the cartesian product, membership and position lookups are
+    closed-form (:meth:`index_of` ranks a configuration in O(d)), which is
+    what lets a 1.8M-configuration crowd pool skip both the config list and
+    the config→row dictionary entirely.
+    """
+
+    def __init__(self, space: DesignSpace, limit: Optional[int] = None) -> None:
+        if not space.is_enumerable:
+            raise ValueError(f"design space {space.name!r} is not enumerable")
+        self.space = space
+        self._names = space._param_names
+        self._value_lists = [p.values() for p in space.parameters]
+        self._radix = [len(v) for v in self._value_lists]
+        total = 1
+        for k in self._radix:
+            total *= k
+        self._total = total if limit is None else max(0, min(int(limit), total))
+        # value → index tables, one per parameter (values are hashable:
+        # Configuration hashes them already).
+        self._value_index: List[Dict[Any, int]] = [
+            {v: i for i, v in enumerate(values)} for values in self._value_lists
+        ]
+        # Strides of the mixed-radix rank (product order: last digit fastest).
+        strides = [1] * len(self._radix)
+        for j in range(len(self._radix) - 2, -1, -1):
+            strides[j] = strides[j + 1] * self._radix[j + 1]
+        self._strides = strides
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(self._total))]
+        if i < 0:
+            i += self._total
+        if not (0 <= i < self._total):
+            raise IndexError(f"index {i} out of range for {self._total} configurations")
+        values = tuple(
+            vals[(i // stride) % k]
+            for vals, stride, k in zip(self._value_lists, self._strides, self._radix)
+        )
+        return Configuration.batch(self._names, [values])[0]
+
+    def __iter__(self) -> Iterator[Configuration]:
+        chunk = 8192
+        for start in range(0, self._total, chunk):
+            stop = min(start + chunk, self._total)
+            rows = zip(
+                *(
+                    [vals[(i // stride) % k] for i in range(start, stop)]
+                    for vals, stride, k in zip(self._value_lists, self._strides, self._radix)
+                )
+            )
+            yield from Configuration.batch(self._names, rows)
+
+    def __contains__(self, config: object) -> bool:
+        return isinstance(config, Mapping) and self.index_of(config) is not None
+
+    def index_of(self, config: Mapping[str, Any]) -> Optional[int]:
+        """Rank of ``config`` in enumeration order, or ``None`` if absent."""
+        if isinstance(config, Configuration):
+            if config.names != self._names:
+                return None
+            values = config.values_tuple
+        else:
+            try:
+                values = tuple(config[n] for n in self._names)
+            except KeyError:
+                return None
+            if len(config) != len(self._names):
+                return None
+        rank = 0
+        for v, lut, stride in zip(values, self._value_index, self._strides):
+            try:
+                idx = lut.get(v)
+            except TypeError:  # unhashable value cannot be a member
+                return None
+            if idx is None:
+                return None
+            rank += idx * stride
+        return rank if rank < self._total else None
+
+
+__all__ = ["Configuration", "DesignSpace", "EnumeratedConfigs"]

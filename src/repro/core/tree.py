@@ -1,36 +1,32 @@
 """CART regression tree built from scratch on NumPy.
 
 HyperMapper fits one randomized decision forest per objective; the forest in
-:mod:`repro.core.forest` bags these trees.  The implementation favours clarity
-and vectorization over micro-optimization: split search uses cumulative-sum
-variance reduction per candidate feature, and prediction walks all samples
-level-by-level with array gathers (no per-sample Python recursion).
+:mod:`repro.core.forest` bags these trees.  Two split engines are available:
+
+* ``splitter="hist"`` (default) — the histogram-binned, frontier-batched
+  engine of :mod:`repro.core.tree_builder`: features are quantized into at
+  most 255 ``uint8`` bins once, split search is cumulative bin-statistic
+  scans vectorized across all features of all frontier nodes, and bootstrap
+  resamples are per-row weight vectors.
+* ``splitter="exact"`` — the original per-node ``argsort`` split search,
+  kept as the bit-exact reference implementation.
+
+Prediction walks all samples level-by-level with array gathers regardless of
+how the tree was fitted (both engines emit the same flat node arrays with
+ordinary float thresholds).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.tree_builder import MAX_BINS, BinMapper, _NodeArrays, grow_tree_hist
 from repro.utils.rng import RandomState, as_generator
 
 MaxFeatures = Union[None, int, float, str]
-
-
-@dataclass
-class _NodeArrays:
-    """Flat array representation of a fitted tree."""
-
-    feature: np.ndarray  # (n_nodes,) int64, -1 for leaves
-    threshold: np.ndarray  # (n_nodes,) float64
-    left: np.ndarray  # (n_nodes,) int64, -1 for leaves
-    right: np.ndarray  # (n_nodes,) int64, -1 for leaves
-    value: np.ndarray  # (n_nodes,) float64 mean target at node
-    n_samples: np.ndarray  # (n_nodes,) int64
-    impurity: np.ndarray  # (n_nodes,) float64 variance at node
 
 
 class DecisionTreeRegressor:
@@ -50,7 +46,14 @@ class DecisionTreeRegressor:
         subsets are what make the forest's trees "randomized decision trees" as
         described in the paper.
     min_impurity_decrease:
-        Minimum weighted variance decrease required to accept a split.
+        Minimum per-sample variance decrease (normalized by the node size)
+        required to accept a split.
+    splitter:
+        ``"hist"`` (default) for the histogram-binned engine, ``"exact"`` for
+        the per-node sort-based reference splitter.
+    max_bins:
+        Bin budget per feature for the histogram splitter (ignored by
+        ``"exact"``).
     random_state:
         Seed controlling feature subsampling.
     """
@@ -62,6 +65,8 @@ class DecisionTreeRegressor:
         min_samples_leaf: int = 1,
         max_features: MaxFeatures = None,
         min_impurity_decrease: float = 0.0,
+        splitter: str = "hist",
+        max_bins: int = MAX_BINS,
         random_state: RandomState = None,
     ) -> None:
         if min_samples_split < 2:
@@ -72,19 +77,32 @@ class DecisionTreeRegressor:
             raise ValueError("max_depth must be >= 1 or None")
         if min_impurity_decrease < 0:
             raise ValueError("min_impurity_decrease must be non-negative")
+        if splitter not in ("hist", "exact"):
+            raise ValueError(f"splitter must be 'hist' or 'exact', got {splitter!r}")
         self.max_depth = max_depth
         self.min_samples_split = int(min_samples_split)
         self.min_samples_leaf = int(min_samples_leaf)
         self.max_features = max_features
         self.min_impurity_decrease = float(min_impurity_decrease)
+        self.splitter = splitter
+        self.max_bins = int(max_bins)
         self.random_state = random_state
         self._nodes: Optional[_NodeArrays] = None
         self._n_features: Optional[int] = None
         self._depth = 0
 
     # -- public API -----------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
-        """Fit the tree on features ``X`` (``(n, d)``) and targets ``y`` (``(n,)``)."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "DecisionTreeRegressor":
+        """Fit the tree on features ``X`` (``(n, d)``) and targets ``y`` (``(n,)``).
+
+        ``sample_weight`` (histogram splitter only) weights each row; integer
+        weights are equivalent to materializing that many row copies.
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2:
@@ -95,6 +113,13 @@ class DecisionTreeRegressor:
             raise ValueError("cannot fit a tree on an empty dataset")
         if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
             raise ValueError("X and y must be finite")
+        if self.splitter == "hist":
+            mapper = BinMapper(max_bins=self.max_bins).fit(X)
+            return self.fit_binned(
+                mapper.transform(X), y, mapper.bin_thresholds_, sample_weight=sample_weight
+            )
+        if sample_weight is not None:
+            raise ValueError("sample_weight requires splitter='hist'")
         self._n_features = X.shape[1]
         rng = as_generator(self.random_state)
         n_feat_per_split = self._resolve_max_features(X.shape[1])
@@ -162,6 +187,52 @@ class DecisionTreeRegressor:
         )
         self._depth = max_depth_seen
         return self
+
+    def fit_binned(
+        self,
+        binned: np.ndarray,
+        y: np.ndarray,
+        bin_thresholds: Sequence[np.ndarray],
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "DecisionTreeRegressor":
+        """Fit from a pre-binned ``uint8`` matrix (histogram splitter only).
+
+        This is the forest's fast path: all trees of a forest (and all refits
+        across an active-learning run) share one binned matrix produced by a
+        single :class:`~repro.core.tree_builder.BinMapper`, and bootstrap
+        resamples arrive as integer ``sample_weight`` vectors.
+        """
+        if self.splitter != "hist":
+            raise ValueError("fit_binned requires splitter='hist'")
+        binned = np.asarray(binned)
+        if binned.ndim != 2:
+            raise ValueError(f"binned must be 2-D, got shape {binned.shape}")
+        self._n_features = binned.shape[1]
+        self._nodes = grow_tree_hist(
+            binned,
+            bin_thresholds,
+            y,
+            sample_weight,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_impurity_decrease=self.min_impurity_decrease,
+            n_feat_per_split=self._resolve_max_features(binned.shape[1]),
+            rng=as_generator(self.random_state),
+        )
+        self._depth = self._compute_depth(self._nodes)
+        return self
+
+    @staticmethod
+    def _compute_depth(nodes: _NodeArrays) -> int:
+        depth = 0
+        frontier = np.array([0], dtype=np.int64)
+        while True:
+            internal = frontier[nodes.feature[frontier] >= 0]
+            if internal.size == 0:
+                return depth
+            frontier = np.concatenate([nodes.left[internal], nodes.right[internal]])
+            depth += 1
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict targets for ``X`` (``(n, d)`` → ``(n,)``)."""
@@ -332,8 +403,11 @@ class DecisionTreeRegressor:
                 best_thr = float(0.5 * (xs[pos] + xs[pos + 1]))
         if best_feat < 0:
             return None
-        # Convert SSE decrease into per-sample (weighted variance) decrease.
-        return best_feat, best_thr, best_gain / max(X.shape[0], 1)
+        # Convert SSE decrease into per-sample (weighted variance) decrease,
+        # normalized by the *node* size so min_impurity_decrease keeps the
+        # same meaning at every depth (normalizing by the full dataset size
+        # made deep splits look vanishingly small).
+        return best_feat, best_thr, best_gain / n
 
 
-__all__ = ["DecisionTreeRegressor"]
+__all__ = ["DecisionTreeRegressor", "_NodeArrays"]

@@ -258,8 +258,14 @@ class TestBaselines:
 
 
 class TestEncodedPoolCaching:
-    def test_run_encodes_pool_exactly_once(self, toy_space, toy_objectives, monkeypatch):
-        """Algorithm 1 predicts over a static pool: one encode call per run."""
+    def test_run_never_re_encodes_configs(self, toy_space, toy_objectives, monkeypatch):
+        """Algorithm 1 predicts over a static pool built columnar-ly.
+
+        A fully enumerable space takes the columnar enumeration path
+        (``encode_enumerated``), and every training row is a gather from the
+        cached pool matrix — so the per-config ``DesignSpace.encode`` is never
+        called at all during a run.
+        """
         from repro.core.space import DesignSpace
 
         calls = []
@@ -281,8 +287,33 @@ class TestEncodedPoolCaching:
         )
         result = hm.run()
         assert len(result.iterations) >= 2  # the loop actually iterated
-        assert len(calls) == 1
-        assert calls[0] == int(toy_space.cardinality)  # the full enumerated pool
+        assert calls == []
+
+    def test_enumerable_pool_is_lazy_and_columnar(self, toy_space):
+        from repro.core.sampling import build_encoded_pool
+        from repro.core.space import EnumeratedConfigs
+
+        pool = build_encoded_pool(toy_space, None)
+        assert isinstance(pool.configs, EnumeratedConfigs)
+        assert len(pool) == int(toy_space.cardinality)
+        np.testing.assert_array_equal(pool.X, toy_space.encode(toy_space.enumerate()))
+        c = pool.configs[9]
+        assert c in pool
+        np.testing.assert_array_equal(pool.rows_for(toy_space, [c]), toy_space.encode([c]))
+        np.testing.assert_array_equal(pool.binned_rows_for(toy_space, [c])[0], pool.binned[9])
+        assert pool.binned.dtype == np.uint8
+
+    def test_include_outside_enumeration_falls_back(self, toy_space):
+        from repro.core.space import Configuration
+        from repro.core.sampling import build_encoded_pool
+
+        outsider = Configuration(toy_space.parameter_names, [3, 0.1, False])
+        pool = build_encoded_pool(toy_space, None, include=[outsider])
+        assert outsider in pool
+        assert len(pool) == int(toy_space.cardinality) + 1
+        np.testing.assert_array_equal(
+            pool.rows_for(toy_space, [outsider]), toy_space.encode([outsider])
+        )
 
     def test_encoded_pool_rows_match_fresh_encoding(self, toy_space):
         from repro.core.sampling import build_encoded_pool

@@ -12,7 +12,7 @@ from repro.core.parameters import (
     OrdinalParameter,
     RealParameter,
 )
-from repro.core.space import Configuration, DesignSpace
+from repro.core.space import Configuration, DesignSpace, EnumeratedConfigs
 
 
 @pytest.fixture()
@@ -215,6 +215,89 @@ class TestConfigurationIndexCache:
         c2 = Configuration(["x", "y"], [1, 2])
         assert c1._index is not c2._index
         assert c2["x"] == 1 and c2["y"] == 2
+
+
+class TestColumnarEnumeration:
+    """The columnar enumeration path must match the itertools reference."""
+
+    @staticmethod
+    def _reference_enumerate(space, limit=None):
+        import itertools
+
+        out = []
+        for combo in itertools.product(*(p.values() for p in space.parameters)):
+            out.append(Configuration(space.parameter_names, list(combo)))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def test_enumerate_matches_reference_order(self, space):
+        assert space.enumerate() == self._reference_enumerate(space)
+
+    def test_enumerate_limit(self, space):
+        assert space.enumerate(limit=7) == self._reference_enumerate(space, limit=7)
+        assert space.enumerate(limit=10_000) == self._reference_enumerate(space)
+
+    def test_enumeration_columns_decode_to_values(self, space):
+        cols = space.enumeration_columns()
+        configs = self._reference_enumerate(space)
+        for p, col in zip(space.parameters, cols):
+            values = p.values()
+            assert [values[i] for i in col.tolist()] == [c[p.name] for c in configs]
+
+    def test_encode_enumerated_matches_encode(self, space):
+        np.testing.assert_array_equal(
+            space.encode_enumerated(), space.encode(space.enumerate())
+        )
+        np.testing.assert_array_equal(
+            space.encode_enumerated(limit=11), space.encode(space.enumerate(limit=11))
+        )
+
+    def test_not_enumerable_raises(self):
+        s = DesignSpace([RealParameter("x", 0.0, 1.0)], name="cont")
+        with pytest.raises(ValueError):
+            s.enumeration_columns()
+        with pytest.raises(ValueError):
+            EnumeratedConfigs(s)
+
+
+class TestEnumeratedConfigs:
+    def test_matches_enumerate(self, space):
+        lazy = EnumeratedConfigs(space)
+        full = space.enumerate()
+        assert len(lazy) == len(full) == int(space.cardinality)
+        assert list(lazy) == full
+        assert [lazy[i] for i in range(len(full))] == full
+        assert lazy[-1] == full[-1]
+        assert lazy[3:6] == full[3:6]
+
+    def test_index_of_roundtrip(self, space):
+        lazy = EnumeratedConfigs(space)
+        for i in (0, 1, 17, len(lazy) - 1):
+            assert lazy.index_of(lazy[i]) == i
+            assert lazy[i] in lazy
+
+    def test_index_of_non_members(self, space):
+        lazy = EnumeratedConfigs(space)
+        outside = Configuration(space.parameter_names, [999, 0.1, False, "a"])
+        assert lazy.index_of(outside) is None
+        assert outside not in lazy
+        other_names = Configuration(["x"], [1])
+        assert lazy.index_of(other_names) is None
+        assert lazy.index_of(space.enumerate()[5].to_dict()) == 5  # plain mappings work
+
+    def test_limit(self, space):
+        lazy = EnumeratedConfigs(space, limit=5)
+        assert len(lazy) == 5
+        assert list(lazy) == space.enumerate(limit=5)
+        assert lazy.index_of(space.enumerate()[10]) is None
+        with pytest.raises(IndexError):
+            lazy[5]
+
+    def test_bounds(self, space):
+        lazy = EnumeratedConfigs(space)
+        with pytest.raises(IndexError):
+            lazy[len(lazy)]
 
 
 def test_unhashable_categorical_choices_still_encode():

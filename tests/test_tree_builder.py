@@ -1,0 +1,302 @@
+"""Tests for the histogram-binned, frontier-batched tree fitting engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.forest import RandomForestRegressor
+from repro.core.tree import DecisionTreeRegressor
+from repro.core.tree_builder import BinMapper, grow_tree_hist
+
+
+def _integer_data(seed, n=120, d=4, n_values=5, y_span=32):
+    """Integer-valued features and targets: binning is lossless and every
+    split statistic is an exact float64 sum, so hist and exact agree."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, n_values, size=(n, d)).astype(np.float64)
+    y = rng.integers(0, y_span, size=n).astype(np.float64)
+    return X, y
+
+
+class TestBinMapper:
+    def test_lossless_thresholds_are_midpoints(self):
+        X = np.array([[0.0], [2.0], [1.0], [2.0], [5.0]])
+        mapper = BinMapper().fit(X)
+        np.testing.assert_array_equal(mapper.bin_thresholds_[0], [0.5, 1.5, 3.5])
+        np.testing.assert_array_equal(mapper.n_bins_, [4])
+        np.testing.assert_array_equal(mapper.transform(X).ravel(), [0, 2, 1, 2, 3])
+
+    def test_threshold_semantics_for_arbitrary_inputs(self):
+        """bin(x) <= b must hold exactly when x <= thresholds[b], for any x."""
+        rng = np.random.default_rng(0)
+        X = rng.choice([0.0, 0.25, 1.0, 3.0, 9.0], size=(64, 1))
+        mapper = BinMapper().fit(X)
+        thr = mapper.bin_thresholds_[0]
+        queries = np.concatenate([rng.uniform(-2, 12, size=200), thr, X.ravel()])
+        bins = mapper.transform(queries.reshape(-1, 1)).ravel()
+        for b in range(thr.size):
+            np.testing.assert_array_equal(bins <= b, queries <= thr[b])
+
+    def test_wide_column_respects_max_bins(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(5000, 2))
+        mapper = BinMapper(max_bins=64).fit(X)
+        assert np.all(mapper.n_bins_ <= 64)
+        binned = mapper.transform(X)
+        assert binned.dtype == np.uint8
+        assert binned.max() <= 63
+        # Equal-frequency-ish: no bin should hold a wildly outsized share.
+        counts = np.bincount(binned[:, 0], minlength=int(mapper.n_bins_[0]))
+        assert counts.max() < 0.1 * X.shape[0]
+
+    def test_constant_column(self):
+        X = np.full((10, 1), 3.0)
+        mapper = BinMapper().fit(X)
+        assert mapper.bin_thresholds_[0].size == 0
+        assert np.all(mapper.transform(X) == 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=1)
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=256)
+        with pytest.raises(ValueError):
+            BinMapper().fit(np.array([[np.nan]]))
+        with pytest.raises(RuntimeError):
+            BinMapper().transform(np.zeros((2, 2)))
+        mapper = BinMapper().fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            mapper.transform(np.zeros((3, 5)))
+
+
+class TestHistExactEquivalence:
+    """On losslessly binnable data the two splitters grow the same partitions."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_training_predictions_identical(self, seed):
+        X, y = _integer_data(seed)
+        exact = DecisionTreeRegressor(splitter="exact", random_state=0).fit(X, y)
+        hist = DecisionTreeRegressor(splitter="hist", random_state=0).fit(X, y)
+        np.testing.assert_array_equal(exact.predict(X), hist.predict(X))
+        assert exact.n_leaves == hist.n_leaves
+        assert exact.depth == hist.depth
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_binary_columns_identical_everywhere(self, seed):
+        """With two-valued columns (booleans / one-hot blocks) even the
+        thresholds coincide, so predictions agree on *arbitrary* queries."""
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, 2, size=(150, 6)).astype(np.float64)
+        y = rng.integers(0, 64, size=150).astype(np.float64)
+        exact = DecisionTreeRegressor(splitter="exact", random_state=1).fit(X, y)
+        hist = DecisionTreeRegressor(splitter="hist", random_state=1).fit(X, y)
+        queries = rng.uniform(-1, 2, size=(500, 6))
+        np.testing.assert_array_equal(exact.predict(queries), hist.predict(queries))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_forest_equivalence_on_binary_columns(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        X = rng.integers(0, 2, size=(80, 5)).astype(np.float64)
+        y = rng.integers(0, 32, size=80).astype(np.float64)
+        exact = RandomForestRegressor(
+            n_estimators=8, splitter="exact", max_features=None, random_state=seed
+        ).fit(X, y)
+        hist = RandomForestRegressor(
+            n_estimators=8, splitter="hist", max_features=None, random_state=seed
+        ).fit(X, y)
+        queries = rng.uniform(-1, 2, size=(200, 5))
+        np.testing.assert_array_equal(exact.predict(queries), hist.predict(queries))
+
+    def test_hyperparameters_respected(self):
+        X, y = _integer_data(3, n=300)
+        tree = DecisionTreeRegressor(
+            splitter="hist", max_depth=3, min_samples_leaf=12, random_state=0
+        ).fit(X, y)
+        assert tree.depth <= 3
+        nodes = tree.node_arrays
+        assert np.all(nodes.n_samples[nodes.feature < 0] >= 12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_hist_predictions_within_target_range(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 3))
+        y = rng.uniform(-5, 5, size=40)
+        tree = DecisionTreeRegressor(splitter="hist", random_state=seed).fit(X, y)
+        pred = tree.predict(rng.normal(size=(20, 3)))
+        assert np.all(pred >= y.min() - 1e-9) and np.all(pred <= y.max() + 1e-9)
+
+
+class TestWeightVectorBootstrap:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_weights_reproduce_materialized_fit_bit_for_bit(self, seed):
+        """An integer weight vector must fit exactly like duplicated rows.
+
+        Targets are dyadic rationals (k/16) so every weighted sum is an exact
+        float64 regardless of accumulation order, making the comparison
+        bit-for-bit rather than approximate.
+        """
+        rng = np.random.default_rng(seed)
+        n = 60
+        X = rng.integers(0, 4, size=(n, 3)).astype(np.float64)
+        y = rng.integers(0, 64, size=n) / 16.0
+        weights = np.bincount(rng.integers(0, n, size=n), minlength=n)
+        mapper = BinMapper().fit(X)
+        binned = mapper.transform(X)
+        materialized_rows = np.repeat(np.arange(n), weights)
+        reference = grow_tree_hist(
+            binned[materialized_rows],
+            mapper.bin_thresholds_,
+            y[materialized_rows],
+            rng=np.random.default_rng(seed),
+        )
+        weighted = grow_tree_hist(
+            binned,
+            mapper.bin_thresholds_,
+            y,
+            weights,
+            rng=np.random.default_rng(seed),
+        )
+        for name in ("feature", "threshold", "left", "right", "value", "n_samples", "impurity"):
+            np.testing.assert_array_equal(
+                getattr(reference, name), getattr(weighted, name), err_msg=name
+            )
+
+    def test_zero_weight_rows_are_invisible(self):
+        rng = np.random.default_rng(5)
+        X = rng.integers(0, 4, size=(50, 3)).astype(np.float64)
+        y = rng.integers(0, 16, size=50).astype(np.float64)
+        keep = rng.random(50) < 0.6
+        keep[:2] = True
+        mapper = BinMapper().fit(X)
+        binned = mapper.transform(X)
+        sub = grow_tree_hist(
+            binned[keep], mapper.bin_thresholds_, y[keep], rng=np.random.default_rng(9)
+        )
+        weighted = grow_tree_hist(
+            binned, mapper.bin_thresholds_, y, keep.astype(float), rng=np.random.default_rng(9)
+        )
+        np.testing.assert_array_equal(sub.value, weighted.value)
+        np.testing.assert_array_equal(sub.feature, weighted.feature)
+
+    def test_forest_oob_rows_are_zero_weight_rows(self):
+        X, y = _integer_data(7, n=100)
+        forest = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        oob = forest.oob_error()
+        assert np.isfinite(oob) and oob >= 0
+        # Every out-of-bag row is genuinely absent from the tree's resample.
+        for tree, oob_idx in zip(forest.trees, forest._oob_indices):
+            assert tree.node_arrays.n_samples[0] == X.shape[0]
+            assert oob_idx.size == 0 or np.all(oob_idx < X.shape[0])
+
+
+class TestSharedBinning:
+    def test_forest_accepts_external_mapper_and_prebinned(self):
+        X, y = _integer_data(11, n=90)
+        mapper = BinMapper().fit(X)
+        plain = RandomForestRegressor(n_estimators=6, random_state=2).fit(X, y)
+        shared = RandomForestRegressor(n_estimators=6, random_state=2).fit(
+            X, y, bin_mapper=mapper, prebinned=mapper.transform(X)
+        )
+        np.testing.assert_array_equal(plain.predict(X), shared.predict(X))
+        assert shared.bin_mapper is mapper
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=2).fit(X, y, prebinned=mapper.transform(X))
+
+    def test_n_jobs_deterministic_hist(self):
+        X, y = _integer_data(13, n=200, d=6)
+        serial = RandomForestRegressor(n_estimators=12, random_state=3).fit(X, y)
+        threaded = RandomForestRegressor(n_estimators=12, n_jobs=4, random_state=3).fit(X, y)
+        np.testing.assert_array_equal(serial.predict(X), threaded.predict(X))
+        np.testing.assert_array_equal(
+            np.sort(serial.flat.threshold), np.sort(threaded.flat.threshold)
+        )
+
+    def test_surrogate_prebinned_matches_internal_binning(self):
+        from repro.core.objectives import Objective, ObjectiveSet
+        from repro.core.parameters import BooleanParameter, OrdinalParameter
+        from repro.core.space import DesignSpace
+        from repro.core.surrogate import MultiObjectiveSurrogate
+
+        space = DesignSpace(
+            [OrdinalParameter("a", [1, 2, 4, 8]), BooleanParameter("b")], name="s"
+        )
+        objectives = ObjectiveSet([Objective("m")])
+        configs = space.sample(24, rng=np.random.default_rng(0))
+        metrics = [{"m": float(c["a"]) + (1.0 if c["b"] else 0.0)} for c in configs]
+        X = space.encode(configs)
+        mapper = BinMapper().fit(X)
+        s1 = MultiObjectiveSurrogate(space, objectives, n_estimators=6, random_state=1)
+        s1.fit_encoded(X, metrics)
+        s2 = MultiObjectiveSurrogate(space, objectives, n_estimators=6, random_state=1)
+        s2.fit_encoded(X, metrics, bin_mapper=mapper, prebinned=mapper.transform(X))
+        pool = space.enumerate()
+        np.testing.assert_array_equal(s1.predict(pool), s2.predict(pool))
+
+
+def _pocket_data():
+    """96 easy samples plus a 4-sample pocket holding the remaining signal.
+
+    Feature 0 isolates the pocket (root gain 15.4 per sample); feature 1
+    resolves it but is noise among the 96 (so it cannot win at the root).
+    The pocket split is worth 100 per *node* sample yet only 4 per *dataset*
+    sample — normalizing the gain by the dataset (the old bug) suppressed it
+    for any min_impurity_decrease in between.
+    """
+    X = np.zeros((100, 2))
+    y = np.zeros(100)
+    X[:96, 1] = np.arange(96) % 2
+    X[96:, 0] = 1.0
+    X[98:, 1] = 1.0
+    y[96:98] = 10.0
+    y[98:] = 30.0
+    return X, y
+
+
+class TestGainNormalization:
+    """min_impurity_decrease is normalized by the node, not the full dataset."""
+
+    @pytest.mark.parametrize("splitter", ["exact", "hist"])
+    def test_deep_small_node_still_splits(self, splitter):
+        X, y = _pocket_data()
+        tree = DecisionTreeRegressor(
+            splitter=splitter, min_impurity_decrease=5.0, random_state=0
+        ).fit(X, y)
+        assert tree.predict(np.array([[1.0, 0.0]]))[0] == pytest.approx(10.0)
+        assert tree.predict(np.array([[1.0, 1.0]]))[0] == pytest.approx(30.0)
+
+    @pytest.mark.parametrize("splitter", ["exact", "hist"])
+    def test_large_threshold_still_prunes(self, splitter):
+        X, y = _pocket_data()
+        # Per-node gains: root 15.4 per sample, pocket 100 — both below 200.
+        tree = DecisionTreeRegressor(
+            splitter=splitter, min_impurity_decrease=200.0, random_state=0
+        ).fit(X, y)
+        assert tree.n_leaves == 1
+
+
+class TestGrowTreeValidation:
+    def test_input_checks(self):
+        mapper = BinMapper().fit(np.zeros((4, 2)))
+        binned = mapper.transform(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            grow_tree_hist(binned, mapper.bin_thresholds_, np.zeros(3))
+        with pytest.raises(ValueError):
+            grow_tree_hist(binned, mapper.bin_thresholds_[:1], np.zeros(4))
+        with pytest.raises(ValueError):
+            grow_tree_hist(binned, mapper.bin_thresholds_, np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(splitter="nope")
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(splitter="exact").fit(
+                np.zeros((3, 1)), np.zeros(3), sample_weight=np.ones(3)
+            )
+
+    def test_constant_features_single_leaf(self):
+        mapper = BinMapper().fit(np.zeros((6, 2)))
+        nodes = grow_tree_hist(
+            mapper.transform(np.zeros((6, 2))), mapper.bin_thresholds_, np.arange(6.0)
+        )
+        assert nodes.feature.size == 1 and nodes.feature[0] == -1
+        assert nodes.value[0] == pytest.approx(2.5)
