@@ -1,0 +1,105 @@
+"""Throughput guardrail for the evaluation executor.
+
+The paper's wall clock is dominated by black-box evaluations (full SLAM runs
+on boards); PRs 1-2 made the surrogate side ~20x faster, which left the
+serial, blocking evaluation path as the per-iteration bottleneck.  This
+benchmark measures the engine's answer: batched submit/gather over a
+persistent worker pool.  A GIL-releasing synthetic evaluation function (a
+stand-in for the NumPy-heavy SLAM simulators) is pushed through the serial
+executor and through async executors at several worker counts; the speedup
+trajectory is recorded to ``benchmarks/results/eval_throughput.json``.
+
+The guardrail is deliberately loose (threads on a loaded CI box), but a
+regression to per-call pool construction or serialized gathering would trip
+it immediately.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.executor import EvaluationExecutor
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.parameters import OrdinalParameter
+from repro.core.space import DesignSpace
+from repro.utils.serialization import dump_json
+from repro.utils.tables import format_table
+
+#: Simulated per-evaluation hardware time (sleep releases the GIL, exactly
+#: like a board running a SLAM sequence while the host waits).
+EVAL_SECONDS = 0.01
+N_CONFIGS = 64
+WORKER_COUNTS = (2, 4, 8)
+MIN_ACCEPTED_SPEEDUP = 1.5  # at n_workers=4; measured value is recorded
+
+
+def _bench_problem():
+    space = DesignSpace(
+        [OrdinalParameter(f"p{i}", list(range(8))) for i in range(4)],
+        name="eval-throughput-bench",
+    )
+    objectives = ObjectiveSet([Objective("error"), Objective("runtime")])
+
+    def evaluate(config):
+        time.sleep(EVAL_SECONDS)
+        vals = [float(config[f"p{i}"]) for i in range(4)]
+        return {"error": sum(vals) * 0.01, "runtime": 1.0 / (1.0 + sum(vals))}
+
+    return space, objectives, evaluate
+
+
+def _run_batch(executor, configs):
+    futures, accepted = executor.submit(configs)
+    assert accepted == len(configs)
+    return executor.gather(futures)
+
+
+def test_eval_throughput(benchmark, results_dir):
+    """Serial vs async batched executor on a GIL-releasing evaluation."""
+    space, objectives, evaluate = _bench_problem()
+    configs = space.sample(N_CONFIGS, rng=np.random.default_rng(0))
+
+    def measure(n_workers):
+        with EvaluationExecutor(evaluate, objectives, n_workers=n_workers, cache=False) as ex:
+            # Warm the pool so thread spin-up is not billed to the batch.
+            _run_batch(ex, configs[:n_workers])
+            t0 = time.perf_counter()
+            results = _run_batch(ex, configs)
+            elapsed = time.perf_counter() - t0
+        assert len(results) == N_CONFIGS
+        return elapsed
+
+    serial_s = benchmark.pedantic(lambda: measure(1), rounds=1, iterations=1)
+    rows = []
+    async_s = {}
+    for n_workers in WORKER_COUNTS:
+        elapsed = measure(n_workers)
+        async_s[n_workers] = elapsed
+        rows.append(
+            [n_workers, f"{elapsed * 1000:.1f}", f"{serial_s / elapsed:.2f}x", f"{N_CONFIGS / elapsed:.0f}"]
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["workers", "batch (ms)", "speedup", "evals/s"],
+            title=f"Async executor throughput ({N_CONFIGS} x {EVAL_SECONDS * 1000:.0f} ms evaluations; "
+            f"serial {serial_s * 1000:.1f} ms)",
+        )
+    )
+
+    result = {
+        "benchmark": "eval_throughput",
+        "n_configs": N_CONFIGS,
+        "eval_seconds": EVAL_SECONDS,
+        "serial_seconds": serial_s,
+        "async_seconds": {str(k): v for k, v in async_s.items()},
+        "speedups": {str(k): serial_s / v for k, v in async_s.items()},
+        "min_accepted_speedup_at_4": MIN_ACCEPTED_SPEEDUP,
+    }
+    dump_json(result, results_dir / "eval_throughput.json")
+
+    assert serial_s / async_s[4] >= MIN_ACCEPTED_SPEEDUP, (
+        f"async executor speedup regressed: {serial_s / async_s[4]:.2f}x < {MIN_ACCEPTED_SPEEDUP}x"
+    )

@@ -44,9 +44,19 @@ from repro.core.evaluator import (
     ParallelEvaluator,
     EvaluationBudgetExceeded,
 )
+from repro.core.executor import EvalFuture, EvaluationExecutor, as_executor
 from repro.core.history import EvaluationRecord, History
-from repro.core.sampling import RandomSampler, LatinHypercubeSampler, GridSampler
+from repro.core.sampling import RandomSampler, LatinHypercubeSampler, GridSampler, EncodedPool
 from repro.core.constraints import Constraint, BoundConstraint, ConstraintSet
+from repro.core.acquisition import (
+    AcquisitionStrategy,
+    Proposal,
+    PredictedPareto,
+    UncertaintyWeighted,
+    EpsilonGreedy,
+    make_acquisition,
+)
+from repro.core.engine import SearchDriver, SearchState
 from repro.core.optimizer import HyperMapper, HyperMapperResult, ActiveLearningReport
 from repro.core.baselines import (
     RandomSearch,
@@ -85,11 +95,23 @@ __all__ = [
     "CachedEvaluator",
     "ParallelEvaluator",
     "EvaluationBudgetExceeded",
+    "EvalFuture",
+    "EvaluationExecutor",
+    "as_executor",
     "EvaluationRecord",
     "History",
     "RandomSampler",
     "LatinHypercubeSampler",
     "GridSampler",
+    "EncodedPool",
+    "AcquisitionStrategy",
+    "Proposal",
+    "PredictedPareto",
+    "UncertaintyWeighted",
+    "EpsilonGreedy",
+    "make_acquisition",
+    "SearchDriver",
+    "SearchState",
     "Constraint",
     "BoundConstraint",
     "ConstraintSet",

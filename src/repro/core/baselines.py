@@ -11,19 +11,28 @@ We additionally provide a hill-climbing **local search**, an NSGA-II style
 **evolutionary search** and an OpenTuner-like **multi-armed bandit** over
 sub-strategies; these are used in the ablation benchmarks to show where a
 surrogate-guided search pays off.
+
+Every baseline runs on the same composable engine as HyperMapper: its
+proposal logic is an :class:`~repro.core.acquisition.AcquisitionStrategy`
+state machine driven by the shared
+:class:`~repro.core.engine.SearchDriver` loop kernel, and every evaluation
+goes through the shared (cachable, budget-accounting, optionally async)
+:class:`~repro.core.executor.EvaluationExecutor`.  Histories are
+bit-identical to the pre-engine implementations under a fixed seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.evaluator import CachedEvaluator, EvaluationFunction, Evaluator, FunctionEvaluator
-from repro.core.history import EvaluationRecord, History
+from repro.core.acquisition import AcquisitionStrategy, Proposal
+from repro.core.engine import HyperMapperResult, SearchDriver, SearchState
+from repro.core.evaluator import EvaluationFunction, Evaluator
+from repro.core.executor import EvaluationExecutor, as_executor
+from repro.core.history import EvaluationRecord
 from repro.core.objectives import ObjectiveSet
-from repro.core.optimizer import HyperMapperResult
 from repro.core.pareto import crowding_distance, non_dominated_sort
 from repro.core.sampling import GridSampler, RandomSampler
 from repro.core.space import Configuration, DesignSpace
@@ -31,35 +40,42 @@ from repro.utils.rng import RandomState, as_generator, derive_seed
 
 
 class _BaseSearch:
-    """Shared plumbing: evaluator wrapping, history bookkeeping, result packing."""
+    """Shared plumbing: executor wrapping, driver construction, seeding."""
 
     source = "baseline"
+    rng_label = "baseline-search"
 
     def __init__(
         self,
         space: DesignSpace,
         objectives: ObjectiveSet,
-        evaluator: Union[Evaluator, EvaluationFunction],
+        evaluator: Union[EvaluationExecutor, Evaluator, EvaluationFunction],
         seed: RandomState = None,
+        *,
+        n_workers: int = 1,
+        backend: str = "thread",
     ) -> None:
         self.space = space
         self.objectives = objectives
-        base = evaluator if isinstance(evaluator, Evaluator) else FunctionEvaluator(evaluator, objectives)
-        self.evaluator = CachedEvaluator(base)
+        self.executor = as_executor(evaluator, objectives, n_workers=n_workers, backend=backend)
         self.seed = seed
 
-    def _evaluate(self, history: History, configs: Sequence[Configuration], iteration: int = 0) -> List[EvaluationRecord]:
-        metrics = self.evaluator.evaluate(list(configs))
-        return [history.add(c, m, source=self.source, iteration=iteration) for c, m in zip(configs, metrics)]
+    @property
+    def evaluator(self) -> EvaluationExecutor:
+        """The evaluation executor (memoizing, budget-accounting)."""
+        return self.executor
 
-    def _result(self, history: History) -> HyperMapperResult:
-        return HyperMapperResult(
-            space=self.space,
-            objectives=self.objectives,
-            history=history,
-            pareto=history.pareto_records(feasible_only=True),
-            iterations=[],
-            surrogate=None,
+    def _driver(self, strategy: Optional[AcquisitionStrategy] = None, **kwargs) -> SearchDriver:
+        return SearchDriver(
+            self.space,
+            self.objectives,
+            self.executor,
+            strategy,
+            bootstrap_source=self.source,
+            compute_reports=False,
+            seed=self.seed,
+            rng_label=self.rng_label,
+            **kwargs,
         )
 
 
@@ -67,32 +83,31 @@ class RandomSearch(_BaseSearch):
     """Uniform random sampling with a fixed budget (the paper's red baseline)."""
 
     source = "random"
+    rng_label = "random-search"
 
     def run(self, budget: int) -> HyperMapperResult:
         """Evaluate ``budget`` distinct uniformly random configurations."""
         if budget < 1:
             raise ValueError("budget must be >= 1")
-        rng = as_generator(derive_seed(self.seed, "random-search"))
-        history = History(self.objectives)
-        configs = RandomSampler(self.space).sample(budget, rng=rng)
-        self._evaluate(history, configs)
-        return self._result(history)
+        return self._driver(n_random_samples=budget).run()
 
 
 class GridSearch(_BaseSearch):
     """Coarse-grid brute force (the expert hand-tuning stand-in)."""
 
     source = "grid"
+    rng_label = "grid-search"
 
     def __init__(
         self,
         space: DesignSpace,
         objectives: ObjectiveSet,
-        evaluator: Union[Evaluator, EvaluationFunction],
+        evaluator: Union[EvaluationExecutor, Evaluator, EvaluationFunction],
         levels: int = 3,
         seed: RandomState = None,
+        **kwargs,
     ) -> None:
-        super().__init__(space, objectives, evaluator, seed)
+        super().__init__(space, objectives, evaluator, seed, **kwargs)
         self.levels = levels
 
     def run(self, budget: Optional[int] = None) -> HyperMapperResult:
@@ -103,9 +118,62 @@ class GridSearch(_BaseSearch):
             rng = as_generator(derive_seed(self.seed, "grid-search"))
             idx = rng.choice(len(grid), size=budget, replace=False)
             grid = [grid[int(i)] for i in idx]
-        history = History(self.objectives)
-        self._evaluate(history, grid)
-        return self._result(history)
+        return self._driver(initial_configs=grid).run()
+
+
+class _LocalSearchStrategy(AcquisitionStrategy):
+    """Hill-climbing state machine: one neighbor batch per driver iteration."""
+
+    source = "local"
+
+    def __init__(self, weights: np.ndarray, budget: int) -> None:
+        self.weights = weights
+        self.budget = int(budget)
+
+    def _scalarize(self, state: SearchState, metrics: Mapping[str, float]) -> float:
+        objectives = state.objectives
+        values = np.array(
+            [objectives[j].canonical(float(metrics[objectives[j].name])) for j in range(len(objectives))]
+        )
+        return float(np.sum(self.weights * values / self._scale))
+
+    def reset(self, state: SearchState) -> None:
+        # Bootstrap records are the restart points; their objective spread
+        # establishes the scalarization scales.
+        values = state.history.objective_matrix(canonical=True)
+        self._scale = np.maximum(np.abs(values).max(axis=0), 1e-12)
+        self._queue: List[EvaluationRecord] = list(state.history.records)
+        self._current: Optional[EvaluationRecord] = None
+        self._current_score = float("inf")
+        self._improved = False
+
+    def propose(self, state: SearchState) -> Optional[Proposal]:
+        while True:
+            if self._current is None:
+                if not self._queue:
+                    return None
+                self._current = self._queue.pop(0)
+                self._current_score = self._scalarize(state, self._current.metrics)
+                self._improved = True
+            used = len(state.history)
+            if not (self._improved and used < self.budget):
+                self._current = None
+                continue
+            self._improved = False
+            neighbors = state.space.neighbors(self._current.config)
+            state.rng.shuffle(neighbors)
+            neighbors = neighbors[: max(self.budget - used, 0)]
+            if not neighbors:
+                self._current = None
+                continue
+            return Proposal(configs=neighbors, source=self.source, iteration=0)
+
+    def observe(self, state: SearchState, records: Sequence[EvaluationRecord]) -> None:
+        best = min(records, key=lambda r: self._scalarize(state, r.metrics))
+        best_score = self._scalarize(state, best.metrics)
+        if best_score < self._current_score:
+            self._current, self._current_score = best, best_score
+            self._improved = True
 
 
 class LocalSearch(_BaseSearch):
@@ -117,17 +185,19 @@ class LocalSearch(_BaseSearch):
     """
 
     source = "local"
+    rng_label = "local-search"
 
     def __init__(
         self,
         space: DesignSpace,
         objectives: ObjectiveSet,
-        evaluator: Union[Evaluator, EvaluationFunction],
+        evaluator: Union[EvaluationExecutor, Evaluator, EvaluationFunction],
         weights: Optional[Sequence[float]] = None,
         n_restarts: int = 4,
         seed: RandomState = None,
+        **kwargs,
     ) -> None:
-        super().__init__(space, objectives, evaluator, seed)
+        super().__init__(space, objectives, evaluator, seed, **kwargs)
         if weights is None:
             weights = [1.0] * len(objectives)
         if len(weights) != len(objectives):
@@ -135,58 +205,94 @@ class LocalSearch(_BaseSearch):
         self.weights = np.asarray(weights, dtype=np.float64)
         self.n_restarts = int(n_restarts)
 
-    def _scalarize(self, metrics: Mapping[str, float], scale: np.ndarray) -> float:
-        values = np.array([self.objectives[j].canonical(float(metrics[self.objectives[j].name])) for j in range(len(self.objectives))])
-        return float(np.sum(self.weights * values / scale))
-
     def run(self, budget: int) -> HyperMapperResult:
         """Hill-climb within an evaluation ``budget`` split across restarts."""
         if budget < self.n_restarts:
             raise ValueError("budget must be at least n_restarts")
-        rng = as_generator(derive_seed(self.seed, "local-search"))
-        history = History(self.objectives)
-        # Initial random probe to establish normalization scales.
-        starts = RandomSampler(self.space).sample(self.n_restarts, rng=rng)
-        records = self._evaluate(history, starts)
-        values = history.objective_matrix(canonical=True)
-        scale = np.maximum(np.abs(values).max(axis=0), 1e-12)
-        used = len(starts)
-        for record in records:
-            current = record
-            current_score = self._scalarize(current.metrics, scale)
-            improved = True
-            while improved and used < budget:
-                improved = False
-                neighbors = self.space.neighbors(current.config)
-                rng.shuffle(neighbors)
-                neighbors = neighbors[: max(budget - used, 0)]
-                if not neighbors:
-                    break
-                new_records = self._evaluate(history, neighbors)
-                used += len(neighbors)
-                best = min(new_records, key=lambda r: self._scalarize(r.metrics, scale))
-                best_score = self._scalarize(best.metrics, scale)
-                if best_score < current_score:
-                    current, current_score = best, best_score
-                    improved = True
-        return self._result(history)
+        strategy = _LocalSearchStrategy(self.weights, budget)
+        return self._driver(strategy, n_random_samples=self.n_restarts).run()
+
+
+class _EvolutionaryStrategy(AcquisitionStrategy):
+    """NSGA-II generation loop as a driver strategy."""
+
+    source = "evolutionary"
+
+    def __init__(self, search: "EvolutionarySearch", budget: int) -> None:
+        self.search = search
+        self.budget = int(budget)
+
+    def reset(self, state: SearchState) -> None:
+        self._records: List[EvaluationRecord] = list(state.history.records)
+        self._used = len(self._records)
+        self._generation = 0
+
+    def propose(self, state: SearchState) -> Optional[Proposal]:
+        if self._used >= self.budget:
+            return None
+        self._generation += 1
+        records = self._records
+        objectives = state.objectives
+        rng = state.rng
+        values = np.array([r.objective_values(objectives) for r in records])
+        canonical = objectives.to_canonical(values)
+        ranks = non_dominated_sort(canonical)
+        crowd = crowding_distance(canonical)
+
+        # Binary tournament selection on (rank, -crowding).
+        def tournament() -> EvaluationRecord:
+            i, j = rng.integers(len(records)), rng.integers(len(records))
+            key_i = (ranks[i], -crowd[i])
+            key_j = (ranks[j], -crowd[j])
+            return records[i] if key_i <= key_j else records[j]
+
+        n_children = min(self.search.population_size, self.budget - self._used)
+        children: List[Configuration] = []
+        seen = set(state.evaluated_configs)
+        attempts = 0
+        while len(children) < n_children and attempts < 20 * n_children:
+            attempts += 1
+            child = self.search._mutate(
+                self.search._crossover(tournament().config, tournament().config, rng), rng
+            )
+            if child in seen:
+                continue
+            seen.add(child)
+            children.append(child)
+        if not children:
+            return None
+        return Proposal(configs=children, source=self.source, iteration=self._generation)
+
+    def observe(self, state: SearchState, child_records: Sequence[EvaluationRecord]) -> None:
+        self._used += len(child_records)
+        objectives = state.objectives
+        # Environmental selection: keep the best population_size individuals.
+        combined = self._records + list(child_records)
+        values = np.array([r.objective_values(objectives) for r in combined])
+        canonical = objectives.to_canonical(values)
+        ranks = non_dominated_sort(canonical)
+        crowd = crowding_distance(canonical)
+        order = sorted(range(len(combined)), key=lambda k: (ranks[k], -crowd[k]))
+        self._records = [combined[k] for k in order[: self.search.population_size]]
 
 
 class EvolutionarySearch(_BaseSearch):
     """NSGA-II style evolutionary multi-objective search (ablation baseline)."""
 
     source = "evolutionary"
+    rng_label = "evolutionary-search"
 
     def __init__(
         self,
         space: DesignSpace,
         objectives: ObjectiveSet,
-        evaluator: Union[Evaluator, EvaluationFunction],
+        evaluator: Union[EvaluationExecutor, Evaluator, EvaluationFunction],
         population_size: int = 24,
         mutation_rate: float = 0.25,
         seed: RandomState = None,
+        **kwargs,
     ) -> None:
-        super().__init__(space, objectives, evaluator, seed)
+        super().__init__(space, objectives, evaluator, seed, **kwargs)
         if population_size < 4:
             raise ValueError("population_size must be >= 4")
         self.population_size = int(population_size)
@@ -209,51 +315,99 @@ class EvolutionarySearch(_BaseSearch):
         """Evolve a population until the evaluation ``budget`` is used."""
         if budget < 1:
             raise ValueError("budget must be >= 1")
-        rng = as_generator(derive_seed(self.seed, "evolutionary-search"))
-        history = History(self.objectives)
         # Tiny budgets (smoke-scale ablations) shrink the initial population
         # rather than erroring out; the run degenerates to random sampling.
-        population = RandomSampler(self.space).sample(min(self.population_size, budget), rng=rng)
-        records = self._evaluate(history, population, iteration=0)
-        used = len(records)
-        generation = 0
-        while used < budget:
-            generation += 1
-            values = np.array([r.objective_values(self.objectives) for r in records])
-            canonical = self.objectives.to_canonical(values)
-            ranks = non_dominated_sort(canonical)
-            crowd = crowding_distance(canonical)
-            # Binary tournament selection on (rank, -crowding).
-            def tournament() -> EvaluationRecord:
-                i, j = rng.integers(len(records)), rng.integers(len(records))
-                key_i = (ranks[i], -crowd[i])
-                key_j = (ranks[j], -crowd[j])
-                return records[i] if key_i <= key_j else records[j]
+        strategy = _EvolutionaryStrategy(self, budget)
+        return self._driver(
+            strategy, n_random_samples=min(self.population_size, budget)
+        ).run()
 
-            n_children = min(self.population_size, budget - used)
-            children: List[Configuration] = []
-            seen = history.configuration_set()
-            attempts = 0
-            while len(children) < n_children and attempts < 20 * n_children:
-                attempts += 1
-                child = self._mutate(self._crossover(tournament().config, tournament().config, rng), rng)
-                if child in seen:
-                    continue
-                seen.add(child)
-                children.append(child)
-            if not children:
-                break
-            child_records = self._evaluate(history, children, iteration=generation)
-            used += len(child_records)
-            # Environmental selection: keep the best population_size individuals.
-            combined = records + child_records
-            values = np.array([r.objective_values(self.objectives) for r in combined])
-            canonical = self.objectives.to_canonical(values)
-            ranks = non_dominated_sort(canonical)
-            crowd = crowding_distance(canonical)
-            order = sorted(range(len(combined)), key=lambda k: (ranks[k], -crowd[k]))
-            records = [combined[k] for k in order[: self.population_size]]
-        return self._result(history)
+
+class _BanditStrategy(AcquisitionStrategy):
+    """UCB1 arm selection + generation as a driver strategy."""
+
+    source = "bandit"
+
+    ARMS = ("uniform", "mutate_pareto", "mutate_best")
+
+    def __init__(self, search: "BanditSearch", budget: int, batch_size: int) -> None:
+        self.search = search
+        self.budget = int(budget)
+        self.batch_size = int(batch_size)
+
+    def reset(self, state: SearchState) -> None:
+        self._plays = {a: 0 for a in self.ARMS}
+        self._rewards = {a: 0.0 for a in self.ARMS}
+        # The bootstrap batch counts as one uniform play that landed points.
+        self._plays["uniform"] += 1
+        self._rewards["uniform"] += 1.0
+        self._used = len(state.history)
+        self._iteration = 0
+        self._arm = "uniform"
+        self._before_front: set = set()
+
+    def propose(self, state: SearchState) -> Optional[Proposal]:
+        if self._used >= self.budget:
+            return None
+        self._iteration += 1
+        total_plays = sum(self._plays.values())
+
+        def ucb(arm: str) -> float:
+            if self._plays[arm] == 0:
+                return float("inf")
+            mean = self._rewards[arm] / self._plays[arm]
+            return mean + self.search.exploration * np.sqrt(
+                np.log(max(total_plays, 1)) / self._plays[arm]
+            )
+
+        arm = max(self.ARMS, key=ucb)
+        n = min(self.batch_size, self.budget - self._used)
+        configs = self._generate(arm, n, state)
+        if not configs:
+            arm = "uniform"
+            configs = RandomSampler(state.space).sample(n, rng=state.rng)
+        self._arm = arm
+        self._before_front = {r.config for r in state.history.pareto_records()}
+        return Proposal(configs=configs, source=self.source, iteration=self._iteration)
+
+    def observe(self, state: SearchState, new_records: Sequence[EvaluationRecord]) -> None:
+        self._used += len(new_records)
+        after_front = {r.config for r in state.history.pareto_records()}
+        gained = len(
+            [r for r in new_records if r.config in after_front and r.config not in self._before_front]
+        )
+        self._plays[self._arm] += 1
+        self._rewards[self._arm] += gained / max(len(new_records), 1)
+
+    def _generate(self, arm: str, n: int, state: SearchState) -> List[Configuration]:
+        history = state.history
+        rng = state.rng
+        space = state.space
+        objectives = state.objectives
+        if arm == "uniform" or len(history) == 0:
+            return RandomSampler(space).sample(n, rng=rng)
+        pareto = history.pareto_records()
+        seen = set(state.evaluated_configs)
+        out: List[Configuration] = []
+        attempts = 0
+        while len(out) < n and attempts < 20 * n:
+            attempts += 1
+            if arm == "mutate_pareto" and pareto:
+                base = pareto[int(rng.integers(len(pareto)))].config
+            elif arm == "mutate_best" and pareto:
+                runtime_obj = objectives.names[-1]
+                base = min(pareto, key=lambda r: r.metrics[runtime_obj]).config
+            else:
+                base = history.records[int(rng.integers(len(history)))].config
+            values = base.to_dict()
+            p = space.parameters[int(rng.integers(space.dimension))]
+            values[p.name] = p.sample(rng)
+            candidate = space.configuration(values)
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            out.append(candidate)
+        return out
 
 
 class BanditSearch(_BaseSearch):
@@ -266,85 +420,26 @@ class BanditSearch(_BaseSearch):
     """
 
     source = "bandit"
+    rng_label = "bandit-search"
 
     def __init__(
         self,
         space: DesignSpace,
         objectives: ObjectiveSet,
-        evaluator: Union[Evaluator, EvaluationFunction],
+        evaluator: Union[EvaluationExecutor, Evaluator, EvaluationFunction],
         exploration: float = 1.4,
         seed: RandomState = None,
+        **kwargs,
     ) -> None:
-        super().__init__(space, objectives, evaluator, seed)
+        super().__init__(space, objectives, evaluator, seed, **kwargs)
         self.exploration = float(exploration)
 
     def run(self, budget: int, batch_size: int = 8) -> HyperMapperResult:
         """Run the bandit until ``budget`` evaluations are used."""
         if budget < batch_size:
             raise ValueError("budget must be at least batch_size")
-        rng = as_generator(derive_seed(self.seed, "bandit-search"))
-        history = History(self.objectives)
-        arm_names = ["uniform", "mutate_pareto", "mutate_best"]
-        plays = {a: 0 for a in arm_names}
-        rewards = {a: 0.0 for a in arm_names}
-        # Seed with one uniform batch.
-        initial = RandomSampler(self.space).sample(batch_size, rng=rng)
-        self._evaluate(history, initial, iteration=0)
-        plays["uniform"] += 1
-        rewards["uniform"] += 1.0
-        used = len(initial)
-        iteration = 0
-        while used < budget:
-            iteration += 1
-            total_plays = sum(plays.values())
-            def ucb(arm: str) -> float:
-                if plays[arm] == 0:
-                    return float("inf")
-                mean = rewards[arm] / plays[arm]
-                return mean + self.exploration * np.sqrt(np.log(max(total_plays, 1)) / plays[arm])
-
-            arm = max(arm_names, key=ucb)
-            n = min(batch_size, budget - used)
-            configs = self._generate(arm, n, history, rng)
-            if not configs:
-                arm = "uniform"
-                configs = RandomSampler(self.space).sample(n, rng=rng)
-            before_front = {r.config for r in history.pareto_records()}
-            new_records = self._evaluate(history, configs, iteration=iteration)
-            used += len(new_records)
-            after_front = {r.config for r in history.pareto_records()}
-            gained = len([r for r in new_records if r.config in after_front and r.config not in before_front])
-            plays[arm] += 1
-            rewards[arm] += gained / max(len(new_records), 1)
-        return self._result(history)
-
-    def _generate(
-        self, arm: str, n: int, history: History, rng: np.random.Generator
-    ) -> List[Configuration]:
-        if arm == "uniform" or len(history) == 0:
-            return RandomSampler(self.space).sample(n, rng=rng)
-        pareto = history.pareto_records()
-        seen = history.configuration_set()
-        out: List[Configuration] = []
-        attempts = 0
-        while len(out) < n and attempts < 20 * n:
-            attempts += 1
-            if arm == "mutate_pareto" and pareto:
-                base = pareto[int(rng.integers(len(pareto)))].config
-            elif arm == "mutate_best" and pareto:
-                runtime_obj = self.objectives.names[-1]
-                base = min(pareto, key=lambda r: r.metrics[runtime_obj]).config
-            else:
-                base = history.records[int(rng.integers(len(history)))].config
-            values = base.to_dict()
-            p = self.space.parameters[int(rng.integers(self.space.dimension))]
-            values[p.name] = p.sample(rng)
-            candidate = self.space.configuration(values)
-            if candidate in seen:
-                continue
-            seen.add(candidate)
-            out.append(candidate)
-        return out
+        strategy = _BanditStrategy(self, budget, batch_size)
+        return self._driver(strategy, n_random_samples=batch_size).run()
 
 
 __all__ = ["RandomSearch", "GridSearch", "LocalSearch", "EvolutionarySearch", "BanditSearch"]

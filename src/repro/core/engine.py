@@ -1,0 +1,694 @@
+"""The composable search engine: loop kernel, run state, checkpoint/resume.
+
+:class:`SearchDriver` is the policy-free kernel every search strategy in this
+repository runs on — ``HyperMapper`` (Algorithm 1) as well as all the
+baselines in :mod:`repro.core.baselines`.  It owns the mechanics the paper's
+infrastructure section describes around the algorithm:
+
+* the bootstrap phase (random samples or an explicit initial design),
+* the one-time construction of the encoded configuration pool,
+* dispatching evaluation batches through an
+  :class:`~repro.core.executor.EvaluationExecutor` (serial, async, or async
+  with *overlap*: the surrogate refits while stragglers of the previous
+  batch are still running, mirroring how runs farmed out to a board fleet
+  trickle back),
+* history/rank bookkeeping (membership tests are integer pool-rank lookups,
+  not configuration-list scans),
+* per-iteration reports, and
+* **checkpoint/resume**: a serializable :class:`RunState` written at
+  iteration boundaries from which a killed run resumes bit-identically.
+
+What to evaluate next is delegated to an
+:class:`~repro.core.acquisition.AcquisitionStrategy`.  With the default
+:class:`~repro.core.acquisition.PredictedPareto` strategy and a serial
+executor the driver reproduces the original ``HyperMapper.run`` loop
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.acquisition import AcquisitionStrategy, Proposal
+from repro.core.evaluator import EvaluationFunction, Evaluator
+from repro.core.executor import EvalFuture, EvaluationExecutor, as_executor
+from repro.core.history import EvaluationRecord, History
+from repro.core.objectives import ObjectiveSet
+from repro.core.pareto import hypervolume_2d
+from repro.core.sampling import EncodedPool, RandomSampler, Sampler, build_encoded_pool
+from repro.core.space import Configuration, DesignSpace
+from repro.core.surrogate import MultiObjectiveSurrogate
+from repro.utils.rng import RandomState, as_generator, derive_seed
+from repro.utils.serialization import dump_json, load_json
+from repro.utils.timing import Timer
+
+#: Schema version of serialized checkpoints.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class ActiveLearningReport:
+    """Per-iteration statistics of the search loop."""
+
+    iteration: int
+    n_predicted_pareto: int
+    n_new_samples: int
+    n_evaluations_total: int
+    n_feasible_total: int
+    n_pareto_total: int
+    hypervolume: float
+    surrogate_fit_seconds: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict representation."""
+        return {
+            "iteration": self.iteration,
+            "n_predicted_pareto": self.n_predicted_pareto,
+            "n_new_samples": self.n_new_samples,
+            "n_evaluations_total": self.n_evaluations_total,
+            "n_feasible_total": self.n_feasible_total,
+            "n_pareto_total": self.n_pareto_total,
+            "hypervolume": self.hypervolume,
+            "surrogate_fit_seconds": self.surrogate_fit_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, float]) -> "ActiveLearningReport":
+        """Inverse of :meth:`to_dict` (checkpoint restore)."""
+        return cls(
+            iteration=int(d["iteration"]),
+            n_predicted_pareto=int(d["n_predicted_pareto"]),
+            n_new_samples=int(d["n_new_samples"]),
+            n_evaluations_total=int(d["n_evaluations_total"]),
+            n_feasible_total=int(d["n_feasible_total"]),
+            n_pareto_total=int(d["n_pareto_total"]),
+            hypervolume=float(d["hypervolume"]),
+            surrogate_fit_seconds=float(d["surrogate_fit_seconds"]),
+        )
+
+
+@dataclass
+class HyperMapperResult:
+    """Outcome of a search-engine run."""
+
+    space: DesignSpace
+    objectives: ObjectiveSet
+    history: History
+    pareto: List[EvaluationRecord]
+    iterations: List[ActiveLearningReport]
+    surrogate: Optional[MultiObjectiveSurrogate]
+
+    def pareto_matrix(self) -> np.ndarray:
+        """Objective matrix (natural units) of the final Pareto front."""
+        if not self.pareto:
+            return np.empty((0, len(self.objectives)))
+        return np.array([r.objective_values(self.objectives) for r in self.pareto], dtype=np.float64)
+
+    def best_by(self, objective_name: str) -> Optional[EvaluationRecord]:
+        """Pareto record optimizing one objective."""
+        if not self.pareto:
+            return None
+        obj = self.objectives[objective_name]
+        return min(self.pareto, key=lambda r: obj.canonical(float(r.metrics[objective_name])))
+
+    def hypervolume(self, reference: Sequence[float]) -> float:
+        """Hypervolume of the final front w.r.t. a reference point (2 objectives)."""
+        front = self.objectives.to_canonical(self.pareto_matrix())
+        ref = self.objectives.to_canonical(np.asarray(reference, dtype=float).reshape(1, -1))[0]
+        return hypervolume_2d(front, ref)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact run summary."""
+        s = self.history.summary()
+        s["n_active_learning_iterations"] = len(self.iterations)
+        s["n_pareto_final"] = len(self.pareto)
+        return s
+
+
+def _config_from_dict(space: DesignSpace, d: Mapping[str, object]) -> Configuration:
+    """Revive a checkpointed configuration, validating against the space.
+
+    Falls back to a raw (unvalidated) configuration for values outside the
+    space's domains — e.g. a warm-start history imported from another space
+    variant.
+    """
+    try:
+        return space.configuration(d)
+    except (KeyError, ValueError):
+        return Configuration.from_dict(d, order=list(d.keys()))
+
+
+@dataclass
+class SearchState:
+    """Mutable per-run state shared between the driver and its strategy."""
+
+    space: DesignSpace
+    objectives: ObjectiveSet
+    history: History
+    rng: np.random.Generator
+    timer: Timer
+    encoded_pool: Optional[EncodedPool] = None
+    max_samples_per_iteration: Optional[int] = None
+    iteration: int = 0
+    surrogate: Optional[MultiObjectiveSurrogate] = None
+    #: Pool ranks of evaluated plus currently in-flight configurations —
+    #: exactly what acquisition must not re-propose.
+    claimed_ranks: set = field(default_factory=set)
+    #: Every evaluated configuration (including out-of-pool warm-start entries).
+    evaluated_configs: set = field(default_factory=set)
+    #: Factory for fresh per-iteration surrogates (bound by the driver).
+    surrogate_factory: Optional[Callable[[int], MultiObjectiveSurrogate]] = None
+
+    def new_surrogate(self) -> MultiObjectiveSurrogate:
+        """A fresh surrogate for the current iteration (deterministic seed)."""
+        assert self.surrogate_factory is not None
+        surrogate = self.surrogate_factory(self.iteration)
+        self.surrogate = surrogate
+        return surrogate
+
+    def register(self, record: EvaluationRecord) -> None:
+        """Track a newly added history record in the membership indexes."""
+        self.evaluated_configs.add(record.config)
+        if self.encoded_pool is not None:
+            rank = self.encoded_pool.position(record.config)
+            if rank is not None:
+                self.claimed_ranks.add(rank)
+
+    def claim(self, config: Configuration, rank: Optional[int] = None) -> None:
+        """Mark an in-flight configuration so acquisition will not re-propose it."""
+        if self.encoded_pool is None:
+            return
+        if rank is None:
+            rank = self.encoded_pool.position(config)
+        if rank is not None:
+            self.claimed_ranks.add(rank)
+
+
+@dataclass
+class _PendingEvaluation:
+    """A submitted evaluation whose result has not been folded into history."""
+
+    future: EvalFuture
+    config: Configuration
+    source: str
+    iteration: int
+
+
+class SearchDriver:
+    """Policy-free search loop kernel.
+
+    Parameters
+    ----------
+    space, objectives:
+        The problem definition.
+    executor:
+        An :class:`~repro.core.executor.EvaluationExecutor`, or anything
+        :func:`~repro.core.executor.as_executor` accepts (an evaluator or a
+        plain callable, wrapped serially).
+    acquisition:
+        The proposal policy.  ``None`` runs only the bootstrap phase (pure
+        random/grid designs).
+    n_random_samples / initial_configs:
+        Bootstrap: either ``n_random_samples`` draws from ``sampler`` or an
+        explicit configuration list.  ``bootstrap_source`` labels the records.
+    max_iterations:
+        Iteration cap; ``None`` loops until the strategy stops proposing.
+    pool_size:
+        Encoded-pool size for pool-based strategies (see
+        :func:`~repro.core.sampling.build_encoded_pool`).
+    max_samples_per_iteration:
+        Cap on new evaluations per iteration (enforced by the strategy).
+    overlap_fraction:
+        ``None`` gathers every batch completely before the next refit (the
+        paper's serial semantics — bit-identical regardless of worker
+        count).  A fraction ``f`` in ``(0, 1]`` blocks only on the first
+        ``ceil(f * batch)`` evaluations (in submission order); the stragglers
+        keep running while the surrogate refits and are folded into the
+        history right after the next proposal.  Deterministic by
+        construction: the cut is positional, never timing-based.
+    checkpoint_path / checkpoint_every:
+        When set, a resumable :class:`RunState` is written after the
+        bootstrap and after every ``checkpoint_every``-th iteration.
+    seed / rng_label:
+        Master seed; the run stream is ``derive_seed(seed, rng_label)``.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: ObjectiveSet,
+        executor: Union[EvaluationExecutor, Evaluator, EvaluationFunction],
+        acquisition: Optional[AcquisitionStrategy] = None,
+        *,
+        n_random_samples: int = 0,
+        initial_configs: Optional[Sequence[Configuration]] = None,
+        bootstrap_source: str = "random",
+        max_iterations: Optional[int] = None,
+        pool_size: Optional[int] = 20_000,
+        max_samples_per_iteration: Optional[int] = None,
+        sampler: Optional[Sampler] = None,
+        surrogate_kwargs: Optional[Mapping[str, object]] = None,
+        overlap_fraction: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        compute_reports: bool = True,
+        seed: RandomState = None,
+        rng_label: str = "search",
+    ) -> None:
+        self.space = space
+        self.objectives = objectives
+        self.executor = as_executor(executor, objectives)
+        self.acquisition = acquisition
+        self.n_random_samples = int(n_random_samples)
+        self.initial_configs = list(initial_configs) if initial_configs is not None else None
+        self.bootstrap_source = bootstrap_source
+        self.max_iterations = max_iterations
+        self.pool_size = pool_size
+        self.max_samples_per_iteration = max_samples_per_iteration
+        self.sampler = sampler or RandomSampler(space)
+        self.surrogate_kwargs = dict(surrogate_kwargs or {})
+        if overlap_fraction is not None:
+            if not 0.0 < overlap_fraction <= 1.0:
+                raise ValueError("overlap_fraction must be in (0, 1]")
+            if acquisition is not None and not acquisition.supports_overlap:
+                raise ValueError(
+                    f"acquisition {type(acquisition).__name__} does not support overlapped gathering"
+                )
+        self.overlap_fraction = overlap_fraction
+        if checkpoint_path is not None and acquisition is not None and not acquisition.supports_checkpoint:
+            raise ValueError(
+                f"acquisition {type(acquisition).__name__} does not support checkpointing"
+            )
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = max(int(checkpoint_every), 1)
+        self.compute_reports = bool(compute_reports)
+        self.seed = seed
+        self.rng_label = rng_label
+        # Checkpoint-compatibility fingerprint.  Only deterministic seed
+        # types participate: deriving from a Generator seed would consume
+        # from it (and such runs are not reproducible to begin with).
+        if seed is None or isinstance(seed, (int, np.integer)):
+            self._seed_fingerprint: Optional[int] = derive_seed(seed, rng_label)
+        else:
+            self._seed_fingerprint = None
+
+    # -- surrogate factory ---------------------------------------------------------
+    def _make_surrogate(self, iteration: int) -> MultiObjectiveSurrogate:
+        kwargs = dict(self.surrogate_kwargs)
+        kwargs.setdefault("n_estimators", 32)
+        kwargs.setdefault("min_samples_leaf", 2)
+        return MultiObjectiveSurrogate(
+            self.space,
+            self.objectives,
+            random_state=derive_seed(self.seed, "surrogate", iteration),
+            **kwargs,
+        )
+
+    # -- main entry point --------------------------------------------------------
+    def run(
+        self,
+        initial_history: Optional[History] = None,
+        resume_from: Optional[str] = None,
+    ) -> HyperMapperResult:
+        """Execute the search (fresh, or resumed from a checkpoint file)."""
+        if resume_from is not None:
+            if initial_history is not None:
+                raise ValueError(
+                    "initial_history and resume_from are mutually exclusive: the "
+                    "checkpoint already contains the run's full history"
+                )
+            return self._run_resumed(resume_from)
+
+        rng = as_generator(derive_seed(self.seed, self.rng_label))
+        history = History(self.objectives)
+        if initial_history is not None:
+            history.extend(initial_history.records)
+        timer = Timer()
+        reports: List[ActiveLearningReport] = []
+
+        # --- Phase 1: bootstrap -------------------------------------------------
+        if self.initial_configs is not None:
+            boot_configs = list(self.initial_configs)
+        else:
+            n_needed = max(self.n_random_samples - len(history), 0)
+            boot_configs = self.sampler.sample(n_needed, rng=rng) if n_needed > 0 else []
+        budget_stop = False
+        if boot_configs:
+            futures, accepted = self.executor.submit(boot_configs)
+            metrics = self.executor.gather(futures)
+            for c, m in zip(boot_configs[:accepted], metrics):
+                history.add(c, m, source=self.bootstrap_source, iteration=0)
+            budget_stop = accepted < len(boot_configs)
+
+        # --- Phase 2: configuration pool ----------------------------------------
+        # The pool is static for the whole run: encoded exactly once here,
+        # fitted-from and predicted-over every iteration.  The rng state and
+        # include list are snapshotted first so a resumed run rebuilds the
+        # exact same pool.
+        pool_rng_state = rng.bit_generator.state
+        pool_include: List[Configuration] = []
+        encoded_pool: Optional[EncodedPool] = None
+        if self.acquisition is not None and self.acquisition.needs_pool:
+            evaluated = history.configuration_set()
+            pool_include = list(evaluated) + [self.space.default_configuration()]
+            encoded_pool = build_encoded_pool(
+                self.space, self.pool_size, rng=rng, include=pool_include
+            )
+
+        state = self._make_state(rng, history, timer, encoded_pool)
+        if self.acquisition is not None:
+            self.acquisition.reset(state)
+        reference = self._hypervolume_reference(history)
+        self._save_checkpoint(
+            state, reports, [], pool_rng_state, pool_include, 0, budget_stop, reference
+        )
+
+        return self._loop(
+            state,
+            reports,
+            reference,
+            pending=[],
+            pool_rng_state=pool_rng_state,
+            pool_include=pool_include,
+            start_iteration=1,
+            budget_stop=budget_stop,
+        )
+
+    # -- the loop kernel -----------------------------------------------------------
+    def _loop(
+        self,
+        state: SearchState,
+        reports: List[ActiveLearningReport],
+        reference: Optional[np.ndarray],
+        pending: List[_PendingEvaluation],
+        pool_rng_state: Optional[dict],
+        pool_include: List[Configuration],
+        start_iteration: int,
+        budget_stop: bool,
+        converged: bool = False,
+    ) -> HyperMapperResult:
+        acquisition = self.acquisition
+        iteration = start_iteration - 1
+        while acquisition is not None and not budget_stop and not converged:
+            iteration += 1
+            if self.max_iterations is not None and iteration > self.max_iterations:
+                break
+            state.iteration = iteration
+            proposal = acquisition.propose(state)
+            # Stragglers from the previous batch ran concurrently with the
+            # refit above; fold them into the history now.
+            n_drained = self._drain_pending(state, pending)
+            if proposal is None:
+                break
+            if not proposal.configs:
+                converged = True
+                self._append_report(
+                    reports, iteration, proposal.n_candidates, n_drained, state, reference
+                )
+                # The convergence flag makes the checkpoint terminal: a
+                # resumed run must not re-open the search with a fresh
+                # surrogate the original run never fitted.
+                self._save_checkpoint(
+                    state, reports, pending, pool_rng_state, pool_include, iteration,
+                    budget_stop, reference, converged=True,
+                )
+                break
+            configs = proposal.configs
+            source = proposal.source
+            iter_tag = proposal.iteration if proposal.iteration is not None else iteration
+            futures, accepted = self.executor.submit(configs)
+            if accepted < len(configs):
+                budget_stop = True
+            ranks = proposal.pool_ranks
+            for j, (f, c) in enumerate(zip(futures, configs)):
+                state.claim(c, ranks[j] if ranks is not None and j < len(ranks) else None)
+            n_wait = accepted
+            if self.overlap_fraction is not None and accepted > 0:
+                n_wait = min(max(int(math.ceil(self.overlap_fraction * accepted)), 1), accepted)
+            results = self.executor.gather(futures, count=n_wait)
+            new_records: List[EvaluationRecord] = []
+            for c, m in zip(configs[:n_wait], results):
+                record = state.history.add(c, m, source=source, iteration=iter_tag)
+                state.register(record)
+                new_records.append(record)
+            for f, c in zip(futures[n_wait:accepted], configs[n_wait:accepted]):
+                pending.append(_PendingEvaluation(f, c, source, iter_tag))
+            if new_records:
+                # An empty accepted prefix only happens on budget exhaustion;
+                # the loop ends right after, so strategies never see it.
+                acquisition.observe(state, new_records)
+            # n_new counts what actually entered the history this iteration
+            # (drained stragglers + the gathered prefix), so consecutive
+            # reports' n_evaluations_total deltas always match it.
+            self._append_report(
+                reports,
+                iteration,
+                proposal.n_candidates,
+                n_drained + len(new_records),
+                state,
+                reference,
+            )
+            if iteration % self.checkpoint_every == 0 or budget_stop:
+                self._save_checkpoint(
+                    state, reports, pending, pool_rng_state, pool_include, iteration, budget_stop, reference
+                )
+        self._drain_pending(state, pending)
+        if budget_stop:
+            # Budget exhausted for good: make the final history durable.  On
+            # normal completion the last iteration-boundary checkpoint (with
+            # its recorded in-flight batch) stays the resume point — a
+            # post-drain snapshot would let a resumed refit see straggler
+            # results earlier than the uninterrupted run did.
+            self._save_checkpoint(
+                state, reports, [], pool_rng_state, pool_include, iteration, budget_stop, reference
+            )
+
+        pareto = state.history.pareto_records(feasible_only=True)
+        return HyperMapperResult(
+            space=self.space,
+            objectives=self.objectives,
+            history=state.history,
+            pareto=pareto,
+            iterations=reports,
+            surrogate=state.surrogate,
+        )
+
+    def _drain_pending(self, state: SearchState, pending: List[_PendingEvaluation]) -> int:
+        """Fold every pending straggler into the history (submission order)."""
+        if not pending:
+            return 0
+        self.executor.gather([p.future for p in pending])
+        for p in pending:
+            record = state.history.add(p.config, p.future.result(), source=p.source, iteration=p.iteration)
+            state.register(record)
+        n_drained = len(pending)
+        pending.clear()
+        return n_drained
+
+    # -- state construction ---------------------------------------------------------
+    def _make_state(
+        self,
+        rng: np.random.Generator,
+        history: History,
+        timer: Timer,
+        encoded_pool: Optional[EncodedPool],
+    ) -> SearchState:
+        state = SearchState(
+            space=self.space,
+            objectives=self.objectives,
+            history=history,
+            rng=rng,
+            timer=timer,
+            encoded_pool=encoded_pool,
+            max_samples_per_iteration=self.max_samples_per_iteration,
+            surrogate_factory=self._make_surrogate,
+        )
+        for record in history.records:
+            state.register(record)
+        return state
+
+    # -- reporting ------------------------------------------------------------
+    def _hypervolume_reference(self, history: History) -> Optional[np.ndarray]:
+        if len(self.objectives) != 2 or len(history) == 0:
+            return None
+        values = history.objective_matrix(canonical=True)
+        # A reference slightly worse than the worst observed point.
+        return values.max(axis=0) * 1.1 + 1e-9
+
+    def _append_report(
+        self,
+        reports: List[ActiveLearningReport],
+        iteration: int,
+        n_predicted: int,
+        n_new: int,
+        state: SearchState,
+        reference: Optional[np.ndarray],
+    ) -> None:
+        if not self.compute_reports:
+            return
+        history = state.history
+        pareto = history.pareto_records(feasible_only=True)
+        hv = float("nan")
+        if reference is not None and pareto:
+            front = history.objectives.to_canonical(
+                np.array([r.objective_values(history.objectives) for r in pareto])
+            )
+            hv = hypervolume_2d(front, reference)
+        reports.append(
+            ActiveLearningReport(
+                iteration=iteration,
+                n_predicted_pareto=n_predicted,
+                n_new_samples=n_new,
+                n_evaluations_total=len(history),
+                n_feasible_total=history.n_feasible(),
+                n_pareto_total=len(pareto),
+                hypervolume=hv,
+                # The *last* fit lap: this iteration's own refit duration
+                # (the seed code reported the running mean by mistake).
+                surrogate_fit_seconds=state.timer.last("fit"),
+            )
+        )
+
+    # -- checkpointing ------------------------------------------------------------
+    def _save_checkpoint(
+        self,
+        state: SearchState,
+        reports: List[ActiveLearningReport],
+        pending: List[_PendingEvaluation],
+        pool_rng_state: Optional[dict],
+        pool_include: List[Configuration],
+        iteration: int,
+        budget_stop: bool,
+        reference: Optional[np.ndarray] = None,
+        converged: bool = False,
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        n_pending_fresh = sum(1 for p in pending if p.future.fresh)
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "rng_label": self.rng_label,
+            "seed_fingerprint": self._seed_fingerprint,
+            "iteration": iteration,
+            "rng_state": state.rng.bit_generator.state,
+            "pool_rng_state": pool_rng_state,
+            "pool_include": [dict(c) for c in pool_include],
+            "history": state.history.to_dicts(),
+            "reports": [r.to_dict() for r in reports],
+            "pending": [
+                {"config": dict(p.config), "source": p.source, "iteration": p.iteration}
+                for p in pending
+            ],
+            # Budget units the resumed executor must start from; pending
+            # evaluations are *not* counted here — they are resubmitted (and
+            # re-counted) on resume.
+            "budget_used": self.executor.n_evaluations - n_pending_fresh,
+            "budget_stop": bool(budget_stop),
+            "converged": bool(converged),
+            # The hypervolume reference is fixed right after bootstrap; a
+            # resumed run must reuse it, not re-derive it from a longer
+            # history.
+            "hypervolume_reference": None if reference is None else [float(x) for x in reference],
+            "strategy": self.acquisition.state_dict() if self.acquisition is not None else {},
+        }
+        tmp = f"{self.checkpoint_path}.tmp"
+        dump_json(payload, tmp)
+        os.replace(tmp, self.checkpoint_path)
+
+    def _run_resumed(self, path: str) -> HyperMapperResult:
+        data = load_json(path)
+        version = int(data.get("version", -1))
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version} in {path!r}")
+        # A checkpoint resumed by a differently-configured driver would not
+        # diverge loudly — the rng streams and surrogate seeds simply come
+        # out different — so compatibility is checked up front.
+        if data.get("rng_label") != self.rng_label:
+            raise ValueError(
+                f"checkpoint {path!r} was written by a {data.get('rng_label')!r} run, "
+                f"cannot resume it with a {self.rng_label!r} driver"
+            )
+        saved_fingerprint = data.get("seed_fingerprint")
+        if (
+            saved_fingerprint is not None
+            and self._seed_fingerprint is not None
+            and int(saved_fingerprint) != self._seed_fingerprint
+        ):
+            raise ValueError(
+                f"checkpoint {path!r} was written under a different master seed"
+            )
+
+        rng = np.random.default_rng()
+        rng.bit_generator.state = data["rng_state"]
+        history = History.from_dicts(self.objectives, data["history"], space=self.space)
+        timer = Timer()
+        reports = [ActiveLearningReport.from_dict(r) for r in data["reports"]]
+
+        pool_rng_state = data.get("pool_rng_state")
+        pool_include = [_config_from_dict(self.space, d) for d in data.get("pool_include", [])]
+        encoded_pool: Optional[EncodedPool] = None
+        if self.acquisition is not None and self.acquisition.needs_pool:
+            # Rebuild the pool exactly as the original run did: same rng
+            # snapshot, same include list.
+            pool_rng = np.random.default_rng()
+            if pool_rng_state is not None:
+                pool_rng.bit_generator.state = pool_rng_state
+            encoded_pool = build_encoded_pool(
+                self.space, self.pool_size, rng=pool_rng, include=pool_include
+            )
+
+        self.executor.restore_consumed(int(data.get("budget_used", 0)))
+        for record in history.records:
+            self.executor.prime(record.config, record.metrics)
+
+        state = self._make_state(rng, history, timer, encoded_pool)
+        if self.acquisition is not None:
+            self.acquisition.reset(state)
+            self.acquisition.load_state_dict(data.get("strategy", {}))
+        saved_reference = data.get("hypervolume_reference")
+        reference = (
+            np.asarray(saved_reference, dtype=np.float64)
+            if saved_reference is not None
+            else self._hypervolume_reference(history)
+        )
+
+        # Resubmit evaluations that were in flight when the checkpoint was
+        # written (their results never landed).
+        pending: List[_PendingEvaluation] = []
+        budget_stop = bool(data.get("budget_stop", False))
+        converged = bool(data.get("converged", False))
+        pending_specs = data.get("pending", [])
+        if pending_specs:
+            configs = [_config_from_dict(self.space, p["config"]) for p in pending_specs]
+            futures, accepted = self.executor.submit(configs)
+            if accepted < len(configs):
+                budget_stop = True
+            for f, c, spec in zip(futures, configs, pending_specs):
+                state.claim(c)
+                pending.append(_PendingEvaluation(f, c, str(spec["source"]), int(spec["iteration"])))
+
+        return self._loop(
+            state,
+            reports,
+            reference,
+            pending=pending,
+            pool_rng_state=pool_rng_state,
+            pool_include=pool_include,
+            start_iteration=int(data["iteration"]) + 1,
+            budget_stop=budget_stop,
+            converged=converged,
+        )
+
+
+__all__ = [
+    "ActiveLearningReport",
+    "HyperMapperResult",
+    "SearchState",
+    "SearchDriver",
+    "CHECKPOINT_VERSION",
+]

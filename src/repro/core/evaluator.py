@@ -138,13 +138,67 @@ class CachedEvaluator(Evaluator):
         return [dict(self._cache[c]) for c in configs]
 
 
-class ParallelEvaluator(Evaluator):
+class WorkerPoolLifecycle:
+    """Shared lazy worker-pool construction + close/context-manager lifecycle.
+
+    Mixed into everything that fans work out over a persistent
+    ``concurrent.futures`` pool (:class:`ParallelEvaluator`, the engine's
+    :class:`~repro.core.executor.EvaluationExecutor`): the pool is created
+    lazily on first use and persists across calls — spinning a pool up and
+    down per batch costs more than a small batch itself.  ``close()`` (or
+    the context-manager protocol) releases the workers; a closed instance
+    refuses further work.
+    """
+
+    n_workers: int
+    backend: str
+    _pool: Optional[concurrent.futures.Executor] = None
+    _closed: bool = False
+
+    @staticmethod
+    def _validate_pool_args(n_workers: int, backend: str) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if backend not in ("thread", "process"):
+            raise ValueError("backend must be 'thread' or 'process'")
+
+    def _get_pool(self) -> concurrent.futures.Executor:
+        if self._closed:
+            raise RuntimeError(f"this {type(self).__name__} has been closed")
+        if self._pool is None:
+            executor_cls = (
+                concurrent.futures.ThreadPoolExecutor
+                if self.backend == "thread"
+                else concurrent.futures.ProcessPoolExecutor
+            )
+            self._pool = executor_cls(max_workers=self.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ParallelEvaluator(WorkerPoolLifecycle, Evaluator):
     """Evaluator that fans evaluations out over a thread or process pool.
 
     The SLAM evaluation function is NumPy-heavy and releases the GIL inside
     vectorized kernels, so the default ``"thread"`` backend already yields
     useful speedups without requiring the evaluation function to be picklable.
     Use ``backend="process"`` for pure-Python evaluation functions.
+
+    One worker pool is created lazily on first use and persists across
+    :meth:`evaluate` calls; call :meth:`close` — or use the evaluator as a
+    context manager — to release the workers.
     """
 
     def __init__(
@@ -155,17 +209,16 @@ class ParallelEvaluator(Evaluator):
         backend: str = "thread",
         max_evaluations: Optional[int] = None,
     ) -> None:
-        super().__init__(objectives)
-        if n_workers < 1:
-            raise ValueError("n_workers must be >= 1")
-        if backend not in ("thread", "process"):
-            raise ValueError("backend must be 'thread' or 'process'")
+        Evaluator.__init__(self, objectives)
+        self._validate_pool_args(n_workers, backend)
         self._fn = fn
         self.n_workers = int(n_workers)
         self.backend = backend
         self.max_evaluations = max_evaluations
 
     def evaluate(self, configs: Sequence[Configuration]) -> List[MetricDict]:
+        if self._closed:
+            raise RuntimeError("this ParallelEvaluator has been closed")
         if self.max_evaluations is not None and self._n_evaluations + len(configs) > self.max_evaluations:
             raise EvaluationBudgetExceeded(
                 f"evaluating {len(configs)} configurations would exceed the budget of "
@@ -177,13 +230,7 @@ class ParallelEvaluator(Evaluator):
             results = [self._check_metrics(self._fn(c)) for c in configs]
             self._n_evaluations += len(configs)
             return results
-        executor_cls = (
-            concurrent.futures.ThreadPoolExecutor
-            if self.backend == "thread"
-            else concurrent.futures.ProcessPoolExecutor
-        )
-        with executor_cls(max_workers=self.n_workers) as pool:
-            raw = list(pool.map(self._fn, configs))
+        raw = list(self._get_pool().map(self._fn, configs))
         results = [self._check_metrics(m) for m in raw]
         self._n_evaluations += len(configs)
         return results
@@ -196,5 +243,6 @@ __all__ = [
     "Evaluator",
     "FunctionEvaluator",
     "CachedEvaluator",
+    "WorkerPoolLifecycle",
     "ParallelEvaluator",
 ]

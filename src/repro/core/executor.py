@@ -1,0 +1,290 @@
+"""Asynchronous batched evaluation executor.
+
+In the paper every black-box evaluation is a full SLAM run on a physical
+board, farmed out to a fleet (83 crowd devices in Fig. 5) — evaluations
+dominate the wall clock, run concurrently, and finish out of order.  The
+:class:`EvaluationExecutor` is the engine-side abstraction of that fleet:
+
+* **submit/gather futures** over one persistent thread or process pool
+  (``n_workers=1`` degenerates to an inline, serial path that is
+  bit-identical to calling the wrapped evaluator directly),
+* **in-flight deduplication and memoization** — with the cache enabled
+  (default) a configuration is never evaluated twice, whether the duplicate
+  arrives in the same batch, a later batch, or while the first evaluation is
+  still running; with the cache disabled, deduplication still covers
+  same-batch and in-flight duplicates (identically for every worker count),
+* **unified budget accounting** with *deterministic partial-batch
+  consumption*: when a batch would cross ``max_evaluations``, the longest
+  affordable prefix (in submission order) is accepted and the rest is
+  rejected — exactly reproducible, unlike the seed behaviour where
+  :class:`~repro.core.evaluator.FunctionEvaluator` refused whole batches and
+  :class:`~repro.core.evaluator.CachedEvaluator` dropped the budget entirely.
+
+Results are always gathered in submission order, so a deterministic
+evaluation function produces a bit-identical
+:class:`~repro.core.history.History` regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.evaluator import (
+    EvaluationBudgetExceeded,
+    EvaluationFunction,
+    Evaluator,
+    FunctionEvaluator,
+    MetricDict,
+    WorkerPoolLifecycle,
+)
+from repro.core.objectives import ObjectiveSet
+from repro.core.space import Configuration
+
+
+def _call_evaluator(evaluator: Evaluator, config: Configuration) -> MetricDict:
+    """Evaluate one configuration (module-level so process pools can pickle it)."""
+    return evaluator.evaluate([config])[0]
+
+
+class EvalFuture:
+    """Handle for one pending (or already resolved) configuration evaluation.
+
+    ``fresh`` records whether this future consumed budget at submission time
+    (i.e. it was neither a cache hit nor a duplicate of an in-flight
+    evaluation).
+    """
+
+    __slots__ = ("config", "fresh", "_result", "_cf")
+
+    def __init__(
+        self,
+        config: Configuration,
+        fresh: bool,
+        result: Optional[MetricDict] = None,
+        cf: Optional[concurrent.futures.Future] = None,
+    ) -> None:
+        self.config = config
+        self.fresh = fresh
+        self._result = result
+        self._cf = cf
+
+    def done(self) -> bool:
+        """Whether the result is available without blocking."""
+        return self._cf is None or self._cf.done()
+
+    def result(self) -> MetricDict:
+        """Block until the evaluation finishes and return its metrics."""
+        if self._result is None:
+            assert self._cf is not None
+            self._result = self._cf.result()
+            self._cf = None
+        return self._result
+
+
+class EvaluationExecutor(WorkerPoolLifecycle):
+    """Persistent submit/gather evaluation engine with caching and budgeting.
+
+    Parameters
+    ----------
+    evaluator:
+        An :class:`~repro.core.evaluator.Evaluator` or a plain callable
+        ``config -> {metric: value}`` (then ``objectives`` is required).
+    objectives:
+        Declared objectives; taken from ``evaluator`` when wrapping one.
+    n_workers:
+        Worker count.  ``1`` (default) evaluates inline at submission time —
+        the fully serial, bit-reproducible reference path.
+    backend:
+        ``"thread"`` (default; the SLAM simulators release the GIL inside
+        NumPy kernels) or ``"process"`` for pure-Python evaluation functions.
+    max_evaluations:
+        Unified evaluation budget.  ``None`` adopts the wrapped evaluator's
+        own ``max_evaluations`` when it has one, so the budget is enforced
+        *here* — deterministically, prefix-wise — instead of via the wrapped
+        evaluator's all-or-nothing refusal.
+    cache:
+        Memoize results by configuration (on by default, mirroring the old
+        ``CachedEvaluator`` wrapping).
+    """
+
+    def __init__(
+        self,
+        evaluator: Union[Evaluator, EvaluationFunction],
+        objectives: Optional[ObjectiveSet] = None,
+        *,
+        n_workers: int = 1,
+        backend: str = "thread",
+        max_evaluations: Optional[int] = None,
+        cache: bool = True,
+    ) -> None:
+        if isinstance(evaluator, Evaluator):
+            self._inner = evaluator
+            self.objectives = evaluator.objectives
+        else:
+            if objectives is None:
+                raise ValueError("objectives are required when wrapping a plain callable")
+            self._inner = FunctionEvaluator(evaluator, objectives)
+            self.objectives = objectives
+        self._validate_pool_args(n_workers, backend)
+        self.n_workers = int(n_workers)
+        self.backend = backend
+        if max_evaluations is None:
+            max_evaluations = getattr(self._inner, "max_evaluations", None)
+        self.max_evaluations = max_evaluations
+        self._use_cache = bool(cache)
+        self._cache: Dict[Configuration, MetricDict] = {}
+        self._inflight: Dict[Configuration, EvalFuture] = {}
+        # Budget units consumed at submission time; starts from the wrapped
+        # evaluator's own counter so pre-wrap evaluations stay accounted for.
+        self._planned = int(getattr(self._inner, "n_evaluations", 0))
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def evaluator(self) -> Evaluator:
+        """The wrapped evaluator."""
+        return self._inner
+
+    @property
+    def n_evaluations(self) -> int:
+        """Budget units consumed so far (cache hits and duplicates excluded)."""
+        return self._planned
+
+    @property
+    def budget_remaining(self) -> Optional[int]:
+        """Evaluations left before the budget is exhausted (``None`` = unlimited)."""
+        if self.max_evaluations is None:
+            return None
+        return max(self.max_evaluations - self._planned, 0)
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized configurations."""
+        return len(self._cache)
+
+    def is_cached(self, config: Configuration) -> bool:
+        """Whether ``config`` has a memoized result."""
+        return config in self._cache
+
+    # -- resume support -----------------------------------------------------------
+    def prime(self, config: Configuration, metrics: MetricDict) -> None:
+        """Seed the cache with a known result (checkpoint restore)."""
+        if self._use_cache:
+            self._cache.setdefault(config, {str(k): float(v) for k, v in metrics.items()})
+
+    def restore_consumed(self, n: int) -> None:
+        """Restore the budget counter from a checkpoint (never decreases it)."""
+        self._planned = max(int(n), self._planned)
+
+    # -- submit / gather -----------------------------------------------------------
+    def _evaluate_one(self, config: Configuration) -> MetricDict:
+        return _call_evaluator(self._inner, config)
+
+    def submit(self, configs: Sequence[Configuration]) -> Tuple[List[EvalFuture], int]:
+        """Submit a batch, returning ``(futures, n_accepted)``.
+
+        Futures come back in submission order.  Cache hits and duplicates of
+        in-flight evaluations are free; a fresh evaluation consumes one budget
+        unit at submission time.  When the budget runs out mid-batch the
+        longest affordable prefix is accepted (``n_accepted < len(configs)``)
+        — every configuration after the first unaffordable one is rejected,
+        which makes partial consumption deterministic and exact.
+        """
+        if self._closed:
+            raise RuntimeError("this EvaluationExecutor has been closed")
+        futures: List[EvalFuture] = []
+        batch_inflight: Dict[Configuration, EvalFuture] = {}
+        for config in configs:
+            if self._use_cache and config in self._cache:
+                futures.append(EvalFuture(config, fresh=False, result=self._cache[config]))
+                continue
+            pending = self._inflight.get(config) or batch_inflight.get(config)
+            if pending is not None:
+                futures.append(EvalFuture(config, fresh=False, result=pending._result, cf=pending._cf))
+                continue
+            if self.max_evaluations is not None and self._planned >= self.max_evaluations:
+                break
+            self._planned += 1
+            if self.n_workers == 1:
+                metrics = self._evaluate_one(config)
+                if self._use_cache:
+                    self._cache[config] = metrics
+                future = EvalFuture(config, fresh=True, result=metrics)
+                # Same-batch duplicates stay free even with the cache
+                # disabled, matching the async path's in-flight dedup (so
+                # budget consumption never depends on the worker count).
+                batch_inflight[config] = future
+            else:
+                # The module-level helper keeps the submission picklable for
+                # the process backend (the executor itself — holding the
+                # pool — must never cross the pickle boundary).
+                cf = self._get_pool().submit(_call_evaluator, self._inner, config)
+                future = EvalFuture(config, fresh=True, cf=cf)
+                self._inflight[config] = future
+                batch_inflight[config] = future
+            futures.append(future)
+        return futures, len(futures)
+
+    def gather(self, futures: Sequence[EvalFuture], count: Optional[int] = None) -> List[MetricDict]:
+        """Resolve the first ``count`` futures (default: all) in submission order.
+
+        Blocking on the deterministic prefix — rather than on completion
+        order — is what keeps async runs bit-identical to serial ones:
+        whichever worker finishes first, results enter the history in the
+        order they were proposed.  Stragglers past ``count`` keep running.
+        """
+        count = len(futures) if count is None else min(count, len(futures))
+        results: List[MetricDict] = []
+        for future in futures[:count]:
+            metrics = future.result()
+            if self._use_cache:
+                self._cache.setdefault(future.config, metrics)
+            self._inflight.pop(future.config, None)
+            results.append(metrics)
+        return results
+
+    # -- synchronous convenience --------------------------------------------------
+    def evaluate(self, configs: Sequence[Configuration]) -> List[MetricDict]:
+        """Blocking batch evaluation (submit + gather everything).
+
+        Raises :class:`~repro.core.evaluator.EvaluationBudgetExceeded` when
+        the batch cannot be fully afforded — *before* evaluating anything or
+        consuming any budget, mirroring the atomic refusal of the plain
+        evaluators.  Engine code that wants graceful partial consumption
+        uses :meth:`submit`/:meth:`gather` directly.
+        """
+        configs = list(configs)
+        if self.max_evaluations is not None:
+            needed = 0
+            seen = set()
+            for c in configs:
+                if (self._use_cache and c in self._cache) or c in self._inflight or c in seen:
+                    continue
+                seen.add(c)
+                needed += 1
+            if needed > self.max_evaluations - self._planned:
+                raise EvaluationBudgetExceeded(
+                    f"evaluating {len(configs)} configurations would exceed the budget of "
+                    f"{self.max_evaluations} (already used {self._planned})"
+                )
+        futures, accepted = self.submit(configs)
+        assert accepted == len(configs)
+        return self.gather(futures)
+
+    def evaluate_one(self, config: Configuration) -> MetricDict:
+        """Evaluate a single configuration synchronously."""
+        return self.evaluate([config])[0]
+
+
+def as_executor(
+    evaluator: Union["EvaluationExecutor", Evaluator, EvaluationFunction],
+    objectives: Optional[ObjectiveSet] = None,
+    **kwargs,
+) -> EvaluationExecutor:
+    """Coerce an evaluator/callable into an :class:`EvaluationExecutor`."""
+    if isinstance(evaluator, EvaluationExecutor):
+        return evaluator
+    return EvaluationExecutor(evaluator, objectives, **kwargs)
+
+
+__all__ = ["EvalFuture", "EvaluationExecutor", "as_executor"]

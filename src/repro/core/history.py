@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.objectives import ObjectiveSet
 from repro.core.pareto import pareto_front, pareto_mask
-from repro.core.space import Configuration
+from repro.core.space import Configuration, DesignSpace
 
 
 @dataclass(frozen=True)
@@ -175,6 +175,43 @@ class History:
     def to_dicts(self) -> List[Dict[str, Any]]:
         """JSON-ready list of record dictionaries."""
         return [r.to_dict() for r in self._records]
+
+    @classmethod
+    def from_dicts(
+        cls,
+        objectives: ObjectiveSet,
+        dicts: Sequence[Mapping[str, Any]],
+        space: Optional["DesignSpace"] = None,
+    ) -> "History":
+        """Inverse of :meth:`to_dicts` (checkpoint/resume support).
+
+        When ``space`` is given, configurations are revived through
+        :meth:`~repro.core.space.DesignSpace.configuration` so values are
+        validated and normalized back to the space's canonical types (JSON
+        loses e.g. the int/float distinction); out-of-domain configurations
+        (warm starts from another space variant) fall back to a raw,
+        unvalidated :class:`~repro.core.space.Configuration`.
+        """
+        records = []
+        for d in dicts:
+            config_dict = d["config"]
+            config: Configuration
+            if space is not None:
+                try:
+                    config = space.configuration(config_dict)
+                except (KeyError, ValueError):
+                    config = Configuration.from_dict(config_dict)
+            else:
+                config = Configuration.from_dict(config_dict)
+            records.append(
+                EvaluationRecord(
+                    config=config,
+                    metrics={str(k): float(v) for k, v in d["metrics"].items()},
+                    source=str(d.get("source", "random")),
+                    iteration=int(d.get("iteration", 0)),
+                )
+            )
+        return cls(objectives, records)
 
     def summary(self) -> Dict[str, Any]:
         """Compact summary used by experiment reports."""

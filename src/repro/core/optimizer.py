@@ -11,94 +11,31 @@ The optimizer alternates between
 until the predicted front contains no new configurations (or an iteration /
 budget cap is hit).  This "letting the predictive model decide which samples
 will be most beneficial" loop is the paper's active-learning strategy.
+
+Since the engine refactor, :class:`HyperMapper` is a thin facade over the
+composable search engine: the loop itself lives in
+:class:`~repro.core.engine.SearchDriver`, the proposal policy in
+:class:`~repro.core.acquisition.PredictedPareto` (swappable via the
+``acquisition`` argument), and evaluation dispatch in
+:class:`~repro.core.executor.EvaluationExecutor` (serial by default; pass
+``n_workers`` or an explicit executor for async batched evaluation, and
+``overlap_fraction`` to refit while stragglers are still running).  With the
+defaults the results are bit-identical to the original inlined loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Mapping, Optional, Union
 
-import numpy as np
-
-from repro.core.evaluator import (
-    CachedEvaluator,
-    EvaluationFunction,
-    Evaluator,
-    FunctionEvaluator,
-)
-from repro.core.history import EvaluationRecord, History
-from repro.core.objectives import Objective, ObjectiveSet
-from repro.core.pareto import hypervolume_2d, pareto_front
-from repro.core.sampling import RandomSampler, Sampler, build_encoded_pool
-from repro.core.space import Configuration, DesignSpace
-from repro.core.surrogate import MultiObjectiveSurrogate
-from repro.utils.rng import RandomState, as_generator, derive_seed
-from repro.utils.timing import Timer
-
-
-@dataclass
-class ActiveLearningReport:
-    """Per-iteration statistics of the active-learning loop."""
-
-    iteration: int
-    n_predicted_pareto: int
-    n_new_samples: int
-    n_evaluations_total: int
-    n_feasible_total: int
-    n_pareto_total: int
-    hypervolume: float
-    surrogate_fit_seconds: float
-
-    def to_dict(self) -> Dict[str, float]:
-        """Plain-dict representation."""
-        return {
-            "iteration": self.iteration,
-            "n_predicted_pareto": self.n_predicted_pareto,
-            "n_new_samples": self.n_new_samples,
-            "n_evaluations_total": self.n_evaluations_total,
-            "n_feasible_total": self.n_feasible_total,
-            "n_pareto_total": self.n_pareto_total,
-            "hypervolume": self.hypervolume,
-            "surrogate_fit_seconds": self.surrogate_fit_seconds,
-        }
-
-
-@dataclass
-class HyperMapperResult:
-    """Outcome of a HyperMapper run."""
-
-    space: DesignSpace
-    objectives: ObjectiveSet
-    history: History
-    pareto: List[EvaluationRecord]
-    iterations: List[ActiveLearningReport]
-    surrogate: Optional[MultiObjectiveSurrogate]
-
-    def pareto_matrix(self) -> np.ndarray:
-        """Objective matrix (natural units) of the final Pareto front."""
-        if not self.pareto:
-            return np.empty((0, len(self.objectives)))
-        return np.array([r.objective_values(self.objectives) for r in self.pareto], dtype=np.float64)
-
-    def best_by(self, objective_name: str) -> Optional[EvaluationRecord]:
-        """Pareto record optimizing one objective."""
-        if not self.pareto:
-            return None
-        obj = self.objectives[objective_name]
-        return min(self.pareto, key=lambda r: obj.canonical(float(r.metrics[objective_name])))
-
-    def hypervolume(self, reference: Sequence[float]) -> float:
-        """Hypervolume of the final front w.r.t. a reference point (2 objectives)."""
-        front = self.objectives.to_canonical(self.pareto_matrix())
-        ref = self.objectives.to_canonical(np.asarray(reference, dtype=float).reshape(1, -1))[0]
-        return hypervolume_2d(front, ref)
-
-    def summary(self) -> Dict[str, object]:
-        """Compact run summary."""
-        s = self.history.summary()
-        s["n_active_learning_iterations"] = len(self.iterations)
-        s["n_pareto_final"] = len(self.pareto)
-        return s
+from repro.core.acquisition import AcquisitionStrategy, PredictedPareto, make_acquisition
+from repro.core.engine import ActiveLearningReport, HyperMapperResult, SearchDriver
+from repro.core.evaluator import EvaluationFunction, Evaluator
+from repro.core.executor import EvaluationExecutor, as_executor
+from repro.core.history import History
+from repro.core.sampling import Sampler
+from repro.core.objectives import ObjectiveSet
+from repro.core.space import DesignSpace
+from repro.utils.rng import RandomState
 
 
 class HyperMapper:
@@ -112,9 +49,10 @@ class HyperMapper:
         The objectives to minimize/maximize (the paper uses max ATE and
         per-frame runtime, both minimized).
     evaluator:
-        Either an :class:`~repro.core.evaluator.Evaluator` or a plain callable
-        ``config -> {objective: value}``.  The evaluator is wrapped in a cache
-        so repeated configurations cost nothing.
+        An :class:`~repro.core.evaluator.Evaluator`, a plain callable
+        ``config -> {objective: value}``, or a pre-built
+        :class:`~repro.core.executor.EvaluationExecutor`.  Evaluations are
+        memoized, so repeated configurations cost nothing.
     n_random_samples:
         Size of the bootstrap random-sampling phase (``rs`` in Algorithm 1).
     max_iterations:
@@ -134,6 +72,22 @@ class HyperMapper:
     surrogate_kwargs:
         Extra keyword arguments forwarded to
         :class:`~repro.core.surrogate.MultiObjectiveSurrogate`.
+    acquisition:
+        Proposal policy: an
+        :class:`~repro.core.acquisition.AcquisitionStrategy` instance or a
+        registered name (``"predicted_pareto"`` — the default, the paper's
+        Algorithm 1 — ``"uncertainty_weighted"``, ``"epsilon_greedy"``).
+    n_workers, backend:
+        Shorthand for building an async executor when ``evaluator`` is not
+        already one (``n_workers=1`` keeps the serial reference path).
+    overlap_fraction:
+        See :class:`~repro.core.engine.SearchDriver`: gather only the first
+        ``ceil(f * batch)`` evaluations of each batch before refitting while
+        the stragglers keep running.  ``None`` (default) gathers fully.
+    checkpoint_path, checkpoint_every:
+        Write a resumable run state after the bootstrap and after every
+        ``checkpoint_every``-th iteration; resume with
+        ``run(resume_from=checkpoint_path)``.
     seed:
         Master seed controlling sampling, pool construction and forests.
     """
@@ -142,7 +96,7 @@ class HyperMapper:
         self,
         space: DesignSpace,
         objectives: ObjectiveSet,
-        evaluator: Union[Evaluator, EvaluationFunction],
+        evaluator: Union[EvaluationExecutor, Evaluator, EvaluationFunction],
         n_random_samples: int = 100,
         max_iterations: int = 6,
         pool_size: Optional[int] = 20_000,
@@ -151,6 +105,13 @@ class HyperMapper:
         surrogate_kwargs: Optional[Mapping[str, object]] = None,
         sampler: Optional[Sampler] = None,
         seed: RandomState = None,
+        *,
+        acquisition: Union[AcquisitionStrategy, str, None] = None,
+        n_workers: int = 1,
+        backend: str = "thread",
+        overlap_fraction: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
     ) -> None:
         if n_random_samples < 1:
             raise ValueError("n_random_samples must be >= 1")
@@ -158,187 +119,64 @@ class HyperMapper:
             raise ValueError("max_iterations must be >= 0")
         self.space = space
         self.objectives = objectives
-        if isinstance(evaluator, Evaluator):
-            base = evaluator
-        else:
-            base = FunctionEvaluator(evaluator, objectives)
-        self.evaluator = CachedEvaluator(base)
+        self.executor = as_executor(
+            evaluator, objectives, n_workers=n_workers, backend=backend
+        )
         self.n_random_samples = int(n_random_samples)
         self.max_iterations = int(max_iterations)
         self.pool_size = pool_size
         self.max_samples_per_iteration = max_samples_per_iteration
         self.feasible_only = bool(feasible_only)
         self.surrogate_kwargs = dict(surrogate_kwargs or {})
-        self.sampler = sampler or RandomSampler(space)
         self.seed = seed
+        if acquisition is None:
+            self.acquisition: AcquisitionStrategy = PredictedPareto(feasible_only=self.feasible_only)
+        elif isinstance(acquisition, str):
+            self.acquisition = make_acquisition(acquisition, feasible_only=self.feasible_only)
+        else:
+            self.acquisition = acquisition
+        self.driver = SearchDriver(
+            space,
+            objectives,
+            self.executor,
+            self.acquisition,
+            n_random_samples=self.n_random_samples,
+            bootstrap_source="random",
+            max_iterations=self.max_iterations,
+            pool_size=pool_size,
+            max_samples_per_iteration=max_samples_per_iteration,
+            sampler=sampler,
+            surrogate_kwargs=self.surrogate_kwargs,
+            overlap_fraction=overlap_fraction,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            seed=seed,
+            rng_label="hypermapper",
+        )
+
+    @property
+    def sampler(self) -> Sampler:
+        """The bootstrap sampler (driver-owned)."""
+        return self.driver.sampler
+
+    @property
+    def evaluator(self) -> EvaluationExecutor:
+        """The evaluation executor (memoizing, budget-accounting)."""
+        return self.executor
 
     # -- main entry point --------------------------------------------------------
-    def run(self, initial_history: Optional[History] = None) -> HyperMapperResult:
+    def run(
+        self,
+        initial_history: Optional[History] = None,
+        resume_from: Optional[str] = None,
+    ) -> HyperMapperResult:
         """Execute Algorithm 1 and return the result.
 
         ``initial_history`` allows warm-starting from pre-evaluated samples
-        (e.g. reusing the random-sampling phase across ablations).
+        (e.g. reusing the random-sampling phase across ablations);
+        ``resume_from`` continues a checkpointed run bit-identically.
         """
-        rng = as_generator(derive_seed(self.seed, "hypermapper"))
-        history = History(self.objectives)
-        if initial_history is not None:
-            history.extend(initial_history.records)
-
-        timer = Timer()
-        reports: List[ActiveLearningReport] = []
-
-        # --- Phase 1: bootstrap with uniform random samples -------------------
-        n_needed = max(self.n_random_samples - len(history), 0)
-        if n_needed > 0:
-            random_configs = self.sampler.sample(n_needed, rng=rng)
-            metrics = self.evaluator.evaluate(random_configs)
-            for c, m in zip(random_configs, metrics):
-                history.add(c, m, source="random", iteration=0)
-
-        # --- Phase 2: configuration pool ----------------------------------------
-        # The pool is static for the whole run, so it is encoded exactly once
-        # here; every iteration fits from and predicts over the cached matrix.
-        evaluated = history.configuration_set()
-        encoded_pool = build_encoded_pool(
-            self.space,
-            self.pool_size,
-            rng=rng,
-            include=list(evaluated) + [self.space.default_configuration()],
-        )
-        pool = encoded_pool.configs
-
-        # --- Phase 3: active learning -----------------------------------------
-        surrogate: Optional[MultiObjectiveSurrogate] = None
-        reference = self._hypervolume_reference(history)
-        for iteration in range(1, self.max_iterations + 1):
-            surrogate = self._make_surrogate(iteration)
-            records = history.records
-            train_configs = [r.config for r in records]
-            X_train = encoded_pool.rows_for(self.space, train_configs)
-            if surrogate.splitter == "hist" and surrogate.max_bins == encoded_pool.bin_mapper.max_bins:
-                # Share the pool's one-time quantization with every forest of
-                # every refit: training rows are uint8 gathers from the cached
-                # binned pool matrix.
-                bin_mapper = encoded_pool.bin_mapper
-                prebinned = encoded_pool.binned_rows_for(self.space, train_configs)
-            else:
-                # Exact splitter, or a custom max_bins the pool cache was not
-                # built with — let the surrogate derive its own quantization.
-                bin_mapper = None
-                prebinned = None
-            with timer.lap("fit"):
-                surrogate.fit_encoded(
-                    X_train,
-                    [r.metrics for r in records],
-                    bin_mapper=bin_mapper,
-                    prebinned=prebinned,
-                )
-            predicted_idx, predicted_values = surrogate.predicted_pareto_encoded(
-                encoded_pool.X,
-                feasible_only=self.feasible_only,
-                pool_index=encoded_pool.bitset_index,
-            )
-            predicted_configs = [pool[int(i)] for i in predicted_idx]
-            evaluated = history.configuration_set()
-            new_configs = [c for c in predicted_configs if c not in evaluated]
-            if self.max_samples_per_iteration is not None and len(new_configs) > self.max_samples_per_iteration:
-                new_configs = self._select_subset(new_configs, predicted_configs, predicted_values, rng)
-            if not new_configs:
-                reports.append(
-                    self._report(iteration, len(predicted_configs), 0, history, reference, timer)
-                )
-                break
-            metrics = self.evaluator.evaluate(new_configs)
-            for c, m in zip(new_configs, metrics):
-                history.add(c, m, source="active_learning", iteration=iteration)
-            reports.append(
-                self._report(iteration, len(predicted_configs), len(new_configs), history, reference, timer)
-            )
-
-        pareto = history.pareto_records(feasible_only=True)
-        return HyperMapperResult(
-            space=self.space,
-            objectives=self.objectives,
-            history=history,
-            pareto=pareto,
-            iterations=reports,
-            surrogate=surrogate,
-        )
-
-    # -- helpers ----------------------------------------------------------------
-    def _make_surrogate(self, iteration: int) -> MultiObjectiveSurrogate:
-        kwargs = dict(self.surrogate_kwargs)
-        kwargs.setdefault("n_estimators", 32)
-        kwargs.setdefault("min_samples_leaf", 2)
-        return MultiObjectiveSurrogate(
-            self.space,
-            self.objectives,
-            random_state=derive_seed(self.seed, "surrogate", iteration),
-            **kwargs,
-        )
-
-    def _select_subset(
-        self,
-        new_configs: List[Configuration],
-        predicted_configs: List[Configuration],
-        predicted_values: np.ndarray,
-        rng: np.random.Generator,
-    ) -> List[Configuration]:
-        """Cap the per-iteration batch, preferring well-spread front points.
-
-        The predicted front is sorted by the first objective and subsampled at
-        regular intervals so the evaluated batch spans the whole front rather
-        than clustering in one region.
-        """
-        assert self.max_samples_per_iteration is not None
-        index_of = {c: i for i, c in enumerate(predicted_configs)}
-        order = sorted(new_configs, key=lambda c: tuple(predicted_values[index_of[c]]))
-        k = self.max_samples_per_iteration
-        if len(order) <= k:
-            return order
-        positions = np.linspace(0, len(order) - 1, k).round().astype(int)
-        positions = np.unique(positions)
-        selected = [order[int(i)] for i in positions]
-        # Top up with random picks if rounding collapsed some positions.
-        if len(selected) < k:
-            remaining = [c for c in order if c not in set(selected)]
-            extra_idx = rng.choice(len(remaining), size=min(k - len(selected), len(remaining)), replace=False)
-            selected.extend(remaining[int(i)] for i in extra_idx)
-        return selected
-
-    def _hypervolume_reference(self, history: History) -> Optional[np.ndarray]:
-        if len(self.objectives) != 2 or len(history) == 0:
-            return None
-        values = history.objective_matrix(canonical=True)
-        # A reference slightly worse than the worst observed point.
-        return values.max(axis=0) * 1.1 + 1e-9
-
-    def _report(
-        self,
-        iteration: int,
-        n_predicted: int,
-        n_new: int,
-        history: History,
-        reference: Optional[np.ndarray],
-        timer: Timer,
-    ) -> ActiveLearningReport:
-        pareto = history.pareto_records(feasible_only=True)
-        hv = float("nan")
-        if reference is not None and pareto:
-            front = history.objectives.to_canonical(
-                np.array([r.objective_values(history.objectives) for r in pareto])
-            )
-            hv = hypervolume_2d(front, reference)
-        return ActiveLearningReport(
-            iteration=iteration,
-            n_predicted_pareto=n_predicted,
-            n_new_samples=n_new,
-            n_evaluations_total=len(history),
-            n_feasible_total=history.n_feasible(),
-            n_pareto_total=len(pareto),
-            hypervolume=hv,
-            surrogate_fit_seconds=timer.mean("fit"),
-        )
+        return self.driver.run(initial_history=initial_history, resume_from=resume_from)
 
 
 __all__ = ["HyperMapper", "HyperMapperResult", "ActiveLearningReport"]

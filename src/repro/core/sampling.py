@@ -219,6 +219,17 @@ class EncodedPool:
             return self._lazy.index_of(config)
         return self._index.get(config)
 
+    def position(self, config: Configuration) -> Optional[int]:
+        """Pool rank of ``config``, or ``None`` when it is not a member.
+
+        For a fully enumerated pool this is the closed-form mixed-radix rank
+        (no dictionary at all); for sampled pools it is one dict lookup.  The
+        search engine keeps its evaluated/claimed sets as these integer ranks
+        so per-iteration membership filtering never touches configuration
+        objects.
+        """
+        return self._position(config)
+
     @property
     def bitset_index(self) -> PoolIndex:
         """Packed-bitset index of the pool, built lazily and cached.

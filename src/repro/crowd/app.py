@@ -3,16 +3,23 @@
 Each "installation" runs the default KFusion configuration and the tuned
 (Pareto-best-runtime) configuration for 100 frames on its device and uploads
 both timings to the :class:`~repro.crowd.database.CrowdDatabase`.
+
+Like the search engine's :class:`~repro.core.executor.EvaluationExecutor`,
+the fleet fan-out is batched and optionally concurrent (``n_workers``):
+devices run independently and their uploads land in a deterministic order
+regardless of which device finishes first — exactly the property the real
+crowd experiment relies on when 83 phones report back asynchronously.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.crowd.database import CrowdDatabase, CrowdRecord
 from repro.devices.model import DeviceModel
-from repro.slambench.runner import SlamBenchRunner
+from repro.slambench.runner import SlamBenchRunner, SlamRunRecord
 
 
 @dataclass
@@ -30,6 +37,20 @@ class CrowdAppRun:
         return self.default_runtime_s / self.tuned_runtime_s if self.tuned_runtime_s > 0 else float("inf")
 
 
+def _device_app_run(
+    device: DeviceModel,
+    default_record: SlamRunRecord,
+    tuned_record: SlamRunRecord,
+    extra_records: Mapping[str, SlamRunRecord],
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, Dict[str, float]]]:
+    """One installation's benchmark: all configurations on one device."""
+    return (
+        default_record.metrics_for(device),
+        tuned_record.metrics_for(device),
+        {label: record.metrics_for(device) for label, record in extra_records.items()},
+    )
+
+
 def run_crowd_experiment(
     runner: SlamBenchRunner,
     devices: Sequence[DeviceModel],
@@ -38,6 +59,7 @@ def run_crowd_experiment(
     n_frames: int = 100,
     database: Optional[CrowdDatabase] = None,
     extra_configs: Optional[Mapping[str, Mapping[str, object]]] = None,
+    n_workers: int = 1,
 ) -> List[CrowdAppRun]:
     """Run the app on every device of the fleet and populate the database.
 
@@ -59,15 +81,32 @@ def run_crowd_experiment(
         Optional database to upload results into.
     extra_configs:
         Additional labelled configurations to benchmark on every device.
+    n_workers:
+        Devices running concurrently.  Results and uploads always come back
+        in fleet order, so the database content is identical to a serial run.
     """
     default_record = runner.run_config(default_config)
     tuned_record = runner.run_config(tuned_config)
     extra_records = {label: runner.run_config(cfg) for label, cfg in (extra_configs or {}).items()}
+    if database is None:
+        # Extra-config metrics are only ever read by the upload branch.
+        extra_records = {}
+
+    if n_workers > 1 and len(devices) > 1:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=n_workers) as pool:
+            per_device = list(
+                pool.map(
+                    lambda d: _device_app_run(d, default_record, tuned_record, extra_records),
+                    devices,
+                )
+            )
+    else:
+        per_device = [
+            _device_app_run(d, default_record, tuned_record, extra_records) for d in devices
+        ]
 
     runs: List[CrowdAppRun] = []
-    for device in devices:
-        default_metrics = default_record.metrics_for(device)
-        tuned_metrics = tuned_record.metrics_for(device)
+    for device, (default_metrics, tuned_metrics, extra_metrics) in zip(devices, per_device):
         run = CrowdAppRun(
             device=device,
             default_runtime_s=default_metrics["runtime_s"],
@@ -96,8 +135,7 @@ def run_crowd_experiment(
                     n_frames=n_frames,
                 )
             )
-            for label, record in extra_records.items():
-                metrics = record.metrics_for(device)
+            for label, metrics in extra_metrics.items():
                 database.upload(
                     CrowdRecord(
                         device_name=device.name,

@@ -15,8 +15,10 @@ exposes the same experiments at several scales:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro.core.executor import EvaluationExecutor
+from repro.core.objectives import ObjectiveSet
 from repro.slambench.runner import SlamBenchRunner
 
 
@@ -42,6 +44,11 @@ class ExperimentScale:
         Size of the configuration pool the surrogate predicts over.
     crowd_devices:
         Number of devices in the crowd-sourcing fleet (83 in the paper).
+    n_eval_workers:
+        Worker count of the evaluation executor.  ``1`` keeps the serial
+        reference path (bit-identical results); larger values fan SLAM
+        evaluations out over a thread pool, mirroring how the paper farms
+        runs out to boards.
     """
 
     name: str
@@ -53,10 +60,25 @@ class ExperimentScale:
     max_samples_per_iteration: int
     pool_size: int
     crowd_devices: int = 83
+    n_eval_workers: int = 1
 
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         """A copy with some fields replaced."""
         return replace(self, **kwargs)
+
+
+def make_executor(
+    fn: Callable,
+    objectives: ObjectiveSet,
+    scale: ExperimentScale,
+    n_workers: Optional[int] = None,
+    max_evaluations: Optional[int] = None,
+) -> EvaluationExecutor:
+    """Build the experiment's evaluation executor from the scale's knobs."""
+    workers = scale.n_eval_workers if n_workers is None else int(n_workers)
+    return EvaluationExecutor(
+        fn, objectives, n_workers=workers, max_evaluations=max_evaluations
+    )
 
 
 SMOKE = ExperimentScale(
@@ -126,4 +148,4 @@ def make_runner(pipeline: str, scale: ExperimentScale, dataset_seed: int = 1, pi
     )
 
 
-__all__ = ["ExperimentScale", "SMOKE", "SMALL", "MEDIUM", "PAPER", "make_runner"]
+__all__ = ["ExperimentScale", "SMOKE", "SMALL", "MEDIUM", "PAPER", "make_runner", "make_executor"]

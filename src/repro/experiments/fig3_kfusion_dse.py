@@ -13,15 +13,16 @@ headline numbers of Section IV:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.core.acquisition import AcquisitionStrategy
 from repro.core.objectives import ObjectiveSet
 from repro.core.optimizer import HyperMapper
 from repro.devices.catalog import get_device
 from repro.devices.model import DeviceModel
-from repro.experiments.common import SMALL, ExperimentScale, make_runner
+from repro.experiments.common import SMALL, ExperimentScale, make_executor, make_runner
 from repro.slambench.parameters import (
     ACCURACY_LIMIT_M,
     kfusion_default_config,
@@ -46,29 +47,41 @@ def run_fig3(
     seed: int = 7,
     runner: Optional[SlamBenchRunner] = None,
     accuracy_limit_m: float = ACCURACY_LIMIT_M,
+    acquisition: Union[AcquisitionStrategy, str, None] = None,
+    n_workers: Optional[int] = None,
+    overlap_fraction: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the KFusion DSE on one platform and collect the Fig. 3 statistics.
 
     Pass the same ``runner`` to consecutive calls (ODROID then ASUS) to reuse
     the cached pipeline simulations across platforms — accuracy is
-    device-independent, so only the runtime side differs.
+    device-independent, so only the runtime side differs.  The engine knobs
+    (``acquisition``, ``n_workers``, ``overlap_fraction``,
+    ``checkpoint_path``/``resume_from``) plug straight into the search
+    engine; the defaults keep the paper's serial Algorithm 1.
     """
     device: DeviceModel = get_device(platform)
     runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
     space = kfusion_design_space()
     objectives = kfusion_objectives(accuracy_limit_m)
 
+    executor = make_executor(runner.evaluation_function(device), objectives, scale, n_workers)
     optimizer = HyperMapper(
         space,
         objectives,
-        runner.evaluation_function(device),
+        executor,
         n_random_samples=scale.n_random_samples,
         max_iterations=scale.max_iterations,
         pool_size=scale.pool_size,
         max_samples_per_iteration=scale.max_samples_per_iteration,
         seed=derive_seed(seed, "fig3", platform),
+        acquisition=acquisition,
+        overlap_fraction=overlap_fraction,
+        checkpoint_path=checkpoint_path,
     )
-    result = optimizer.run()
+    result = optimizer.run(resume_from=resume_from)
 
     history = result.history
     random_history = history.filter(source="random")
@@ -114,6 +127,12 @@ def run_fig3(
         "active_learning_front": _front_series(full_front, objectives),
         "iteration_reports": [r.to_dict() for r in result.iterations],
         "n_pipeline_simulations": runner.n_simulations,
+        "engine": {
+            "acquisition": type(optimizer.acquisition).__name__,
+            "n_eval_workers": executor.n_workers,
+            "overlap_fraction": overlap_fraction,
+            "n_black_box_evaluations": executor.n_evaluations,
+        },
     }
     return out
 

@@ -9,12 +9,13 @@ and a separate configuration improves accuracy by about 2x over the default.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from repro.core.acquisition import AcquisitionStrategy
 from repro.core.optimizer import HyperMapper
 from repro.devices.catalog import NVIDIA_GTX_780TI, get_device
 from repro.devices.model import DeviceModel
-from repro.experiments.common import SMALL, ExperimentScale, make_runner
+from repro.experiments.common import SMALL, ExperimentScale, make_executor, make_runner
 from repro.slambench.parameters import (
     ACCURACY_LIMIT_M,
     elasticfusion_default_config,
@@ -32,6 +33,11 @@ def run_fig4(
     seed: int = 11,
     runner: Optional[SlamBenchRunner] = None,
     accuracy_limit_m: float = ACCURACY_LIMIT_M,
+    acquisition: Union[AcquisitionStrategy, str, None] = None,
+    n_workers: Optional[int] = None,
+    overlap_fraction: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the ElasticFusion DSE and collect the Fig. 4 / Section IV statistics."""
     device: DeviceModel = get_device(platform)
@@ -43,17 +49,21 @@ def run_fig4(
     # random-sampling budget is scaled the same way the paper scales it
     # (2,400 vs 3,000 samples).
     n_random = max(int(scale.n_random_samples * 0.8), 8)
+    executor = make_executor(runner.evaluation_function(device), objectives, scale, n_workers)
     optimizer = HyperMapper(
         space,
         objectives,
-        runner.evaluation_function(device),
+        executor,
         n_random_samples=n_random,
         max_iterations=scale.max_iterations,
         pool_size=scale.pool_size,
         max_samples_per_iteration=max(scale.max_samples_per_iteration // 2, 4),
         seed=derive_seed(seed, "fig4", platform),
+        acquisition=acquisition,
+        overlap_fraction=overlap_fraction,
+        checkpoint_path=checkpoint_path,
     )
-    result = optimizer.run()
+    result = optimizer.run(resume_from=resume_from)
 
     history = result.history
     random_history = history.filter(source="random")
@@ -114,6 +124,12 @@ def run_fig4(
         ],
         "iteration_reports": [r.to_dict() for r in result.iterations],
         "n_pipeline_simulations": runner.n_simulations,
+        "engine": {
+            "acquisition": type(optimizer.acquisition).__name__,
+            "n_eval_workers": executor.n_workers,
+            "overlap_fraction": overlap_fraction,
+            "n_black_box_evaluations": executor.n_evaluations,
+        },
     }
 
 

@@ -33,12 +33,15 @@ def run_fig5(
     tuned_config: Optional[Mapping[str, object]] = None,
     runner: Optional[SlamBenchRunner] = None,
     n_correlation_configs: int = 24,
+    n_workers: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the crowd-sourcing experiment.
 
     ``tuned_config`` is normally the best-runtime configuration of the
     ODROID-XU3 Pareto front (Fig. 3); when omitted, a reduced Fig. 3 run is
-    performed first to obtain it.
+    performed first to obtain it.  ``n_workers`` (default: the scale's
+    ``n_eval_workers``) runs fleet devices concurrently; results are
+    order-deterministic either way.
     """
     runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
     if tuned_config is None:
@@ -50,7 +53,15 @@ def run_fig5(
     default_config = dict(kfusion_default_config())
     fleet = make_mobile_fleet(n_devices=scale.crowd_devices, seed=derive_seed(seed, "fleet"))
     database = CrowdDatabase()
-    runs = run_crowd_experiment(runner, fleet, default_config, dict(tuned_config), n_frames=100, database=database)
+    runs = run_crowd_experiment(
+        runner,
+        fleet,
+        default_config,
+        dict(tuned_config),
+        n_frames=100,
+        database=database,
+        n_workers=scale.n_eval_workers if n_workers is None else int(n_workers),
+    )
 
     stats = speedup_statistics(runs)
     histogram = speedup_histogram(runs)

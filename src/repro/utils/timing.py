@@ -59,6 +59,11 @@ class Timer:
         laps = self.laps.get(label, [])
         return float(sum(laps) / len(laps)) if laps else 0.0
 
+    def last(self, label: str) -> float:
+        """Duration of the most recent lap for ``label`` (0.0 if never recorded)."""
+        laps = self.laps.get(label, [])
+        return float(laps[-1]) if laps else 0.0
+
     def summary(self) -> Dict[str, float]:
         """Mapping of label to total accumulated seconds."""
         return {k: float(sum(v)) for k, v in self.laps.items()}

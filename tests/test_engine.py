@@ -1,0 +1,665 @@
+"""Tests for the composable search engine.
+
+Covers the acceptance invariants of the engine refactor:
+
+* with the default ``PredictedPareto`` acquisition and a serial executor,
+  the engine is **bit-identical** to the pre-refactor inlined loop (a frozen
+  copy of which is kept here as the reference implementation),
+* the async executor (``n_workers > 1``, overlap on/off) produces a
+  bit-identical history/Pareto front to the serial path for deterministic
+  evaluators,
+* kill-and-resume from a mid-run checkpoint equals the uninterrupted run,
+* partial-batch budget exhaustion is deterministic and exact,
+* executor mechanics: in-flight dedup, caching, submission-order gather,
+  persistent-pool lifecycle.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import EpsilonGreedy, PredictedPareto, UncertaintyWeighted, make_acquisition
+from repro.core.engine import SearchDriver
+from repro.core.evaluator import CachedEvaluator, FunctionEvaluator, ParallelEvaluator
+from repro.core.executor import EvaluationExecutor
+from repro.core.history import History
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.optimizer import HyperMapper
+from repro.core.parameters import BooleanParameter, CategoricalParameter, OrdinalParameter
+from repro.core.sampling import build_encoded_pool
+from repro.core.space import DesignSpace
+from repro.utils.rng import as_generator, derive_seed
+from repro.utils.timing import Timer
+
+
+@pytest.fixture()
+def toy_space():
+    return DesignSpace(
+        [
+            OrdinalParameter("a", [1, 2, 4, 8], default=1),
+            OrdinalParameter("b", [0.1, 0.2, 0.4, 0.8], default=0.1),
+            BooleanParameter("fast", default=False),
+            CategoricalParameter("mode", ["x", "y", "z"], default="x"),
+        ],
+        name="toy",
+    )
+
+
+@pytest.fixture()
+def big_space():
+    # Too big to enumerate into a small pool: forces the sampled-pool path.
+    return DesignSpace(
+        [OrdinalParameter(f"p{i}", list(range(8))) for i in range(6)]
+        + [BooleanParameter("flag")],
+        name="big",
+    )
+
+
+@pytest.fixture()
+def objectives():
+    return ObjectiveSet([Objective("error", limit=0.6), Objective("runtime")])
+
+
+def toy_evaluate(config):
+    a, b, fast = float(config["a"]), float(config["b"]), bool(config["fast"])
+    m = {"x": 0.0, "y": 0.05, "z": 0.1}[config["mode"]]
+    error = 0.05 * a + 0.3 * b + (0.25 if fast else 0.0) + m
+    runtime = 1.0 / a + 0.5 * b + (0.0 if fast else 0.2) + 0.3 * m
+    return {"error": error, "runtime": runtime}
+
+
+def big_evaluate(config):
+    vals = [float(config[f"p{i}"]) for i in range(6)]
+    error = sum(v * 0.02 * (i + 1) for i, v in enumerate(vals)) + (0.1 if config["flag"] else 0.0)
+    runtime = 2.0 / (1.0 + sum(vals)) + 0.05 * vals[0]
+    return {"error": error, "runtime": runtime}
+
+
+def hist_dump(result_or_history):
+    history = getattr(result_or_history, "history", result_or_history)
+    return [(dict(r.config), r.metrics, r.source, r.iteration) for r in history.records]
+
+
+def reports_dump(result):
+    out = []
+    for r in result.iterations:
+        d = r.to_dict()
+        d.pop("surrogate_fit_seconds")  # wall clock, not reproducible
+        out.append(d)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Frozen reference: the pre-engine HyperMapper.run loop, verbatim semantics.
+# ---------------------------------------------------------------------------
+
+
+def reference_hypermapper_history(
+    space,
+    objectives,
+    fn,
+    n_random_samples,
+    max_iterations,
+    pool_size,
+    max_samples_per_iteration,
+    seed,
+):
+    """A frozen copy of the seed ``HyperMapper.run`` loop (history only)."""
+    from repro.core.sampling import RandomSampler
+    from repro.core.surrogate import MultiObjectiveSurrogate
+
+    evaluator = CachedEvaluator(FunctionEvaluator(fn, objectives))
+    rng = as_generator(derive_seed(seed, "hypermapper"))
+    history = History(objectives)
+
+    n_needed = max(n_random_samples - len(history), 0)
+    if n_needed > 0:
+        random_configs = RandomSampler(space).sample(n_needed, rng=rng)
+        metrics = evaluator.evaluate(random_configs)
+        for c, m in zip(random_configs, metrics):
+            history.add(c, m, source="random", iteration=0)
+
+    evaluated = history.configuration_set()
+    encoded_pool = build_encoded_pool(
+        space,
+        pool_size,
+        rng=rng,
+        include=list(evaluated) + [space.default_configuration()],
+    )
+    pool = encoded_pool.configs
+
+    for iteration in range(1, max_iterations + 1):
+        surrogate = MultiObjectiveSurrogate(
+            space,
+            objectives,
+            n_estimators=32,
+            min_samples_leaf=2,
+            random_state=derive_seed(seed, "surrogate", iteration),
+        )
+        records = history.records
+        train_configs = [r.config for r in records]
+        X_train = encoded_pool.rows_for(space, train_configs)
+        bin_mapper = encoded_pool.bin_mapper
+        prebinned = encoded_pool.binned_rows_for(space, train_configs)
+        surrogate.fit_encoded(
+            X_train, [r.metrics for r in records], bin_mapper=bin_mapper, prebinned=prebinned
+        )
+        predicted_idx, predicted_values = surrogate.predicted_pareto_encoded(
+            encoded_pool.X, feasible_only=True, pool_index=encoded_pool.bitset_index
+        )
+        predicted_configs = [pool[int(i)] for i in predicted_idx]
+        evaluated = history.configuration_set()
+        new_configs = [c for c in predicted_configs if c not in evaluated]
+        if max_samples_per_iteration is not None and len(new_configs) > max_samples_per_iteration:
+            index_of = {c: i for i, c in enumerate(predicted_configs)}
+            order = sorted(new_configs, key=lambda c: tuple(predicted_values[index_of[c]]))
+            k = max_samples_per_iteration
+            positions = np.unique(np.linspace(0, len(order) - 1, k).round().astype(int))
+            selected = [order[int(i)] for i in positions]
+            if len(selected) < k:
+                remaining = [c for c in order if c not in set(selected)]
+                extra_idx = rng.choice(
+                    len(remaining), size=min(k - len(selected), len(remaining)), replace=False
+                )
+                selected.extend(remaining[int(i)] for i in extra_idx)
+            new_configs = selected
+        if not new_configs:
+            break
+        metrics = evaluator.evaluate(new_configs)
+        for c, m in zip(new_configs, metrics):
+            history.add(c, m, source="active_learning", iteration=iteration)
+    return history
+
+
+class TestSeedLoopEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 99])
+    def test_enumerated_pool_bit_identical(self, toy_space, objectives, seed):
+        kwargs = dict(
+            n_random_samples=10, max_iterations=4, pool_size=None, max_samples_per_iteration=6
+        )
+        reference = reference_hypermapper_history(
+            toy_space, objectives, toy_evaluate, seed=seed, **kwargs
+        )
+        result = HyperMapper(toy_space, objectives, toy_evaluate, seed=seed, **kwargs).run()
+        assert hist_dump(result) == hist_dump(reference)
+
+    @pytest.mark.parametrize("seed", [3, 21])
+    def test_sampled_pool_bit_identical(self, big_space, objectives, seed):
+        kwargs = dict(
+            n_random_samples=20, max_iterations=3, pool_size=400, max_samples_per_iteration=10
+        )
+        reference = reference_hypermapper_history(
+            big_space, objectives, big_evaluate, seed=seed, **kwargs
+        )
+        result = HyperMapper(big_space, objectives, big_evaluate, seed=seed, **kwargs).run()
+        assert hist_dump(result) == hist_dump(reference)
+
+    def test_pareto_front_matches_reference(self, toy_space, objectives):
+        kwargs = dict(
+            n_random_samples=12, max_iterations=3, pool_size=None, max_samples_per_iteration=5
+        )
+        reference = reference_hypermapper_history(
+            toy_space, objectives, toy_evaluate, seed=5, **kwargs
+        )
+        result = HyperMapper(toy_space, objectives, toy_evaluate, seed=5, **kwargs).run()
+        ref_front = [(dict(r.config), r.metrics) for r in reference.pareto_records()]
+        new_front = [(dict(r.config), r.metrics) for r in result.pareto]
+        assert new_front == ref_front
+
+
+class TestAsyncExecutorEquivalence:
+    KW = dict(n_random_samples=10, max_iterations=4, pool_size=None, max_samples_per_iteration=6, seed=3)
+
+    def test_async_workers_bit_identical_to_serial(self, toy_space, objectives):
+        serial = HyperMapper(toy_space, objectives, toy_evaluate, **self.KW).run()
+        for n_workers in (2, 4):
+            async_result = HyperMapper(
+                toy_space, objectives, toy_evaluate, n_workers=n_workers, **self.KW
+            ).run()
+            assert hist_dump(async_result) == hist_dump(serial)
+            assert reports_dump(async_result) == reports_dump(serial)
+
+    def test_overlap_full_fraction_equals_serial(self, toy_space, objectives):
+        serial = HyperMapper(toy_space, objectives, toy_evaluate, **self.KW).run()
+        overlap = HyperMapper(
+            toy_space, objectives, toy_evaluate, n_workers=3, overlap_fraction=1.0, **self.KW
+        ).run()
+        assert hist_dump(overlap) == hist_dump(serial)
+
+    def test_overlap_partial_is_deterministic(self, toy_space, objectives):
+        runs = [
+            HyperMapper(
+                toy_space, objectives, toy_evaluate, n_workers=3, overlap_fraction=0.5, **self.KW
+            ).run()
+            for _ in range(2)
+        ]
+        assert hist_dump(runs[0]) == hist_dump(runs[1])
+        # Every straggler eventually lands: sources/iterations are tagged with
+        # the iteration that proposed them.
+        assert all(r.source in ("random", "active_learning") for r in runs[0].history)
+
+    def test_overlap_requires_supporting_strategy(self, toy_space, objectives):
+        from repro.core.acquisition import AcquisitionStrategy
+
+        class NoOverlap(AcquisitionStrategy):
+            def propose(self, state):
+                return None
+
+        with pytest.raises(ValueError):
+            SearchDriver(
+                toy_space,
+                objectives,
+                EvaluationExecutor(toy_evaluate, objectives),
+                acquisition=NoOverlap(),
+                overlap_fraction=0.5,
+            )
+
+
+class TestCheckpointResume:
+    KW = dict(n_random_samples=10, max_iterations=4, pool_size=None, max_samples_per_iteration=6, seed=3)
+
+    def _resume_equals_full(self, space, objectives, fn, tmp_path, extra=None):
+        extra = dict(extra or {})
+        kw = dict(self.KW)
+        kw.update(extra)
+        ck = os.path.join(str(tmp_path), "run-checkpoint.json")
+        full = HyperMapper(space, objectives, fn, **kw).run()
+        # "Kill" the run after two iterations; the checkpoint survives.
+        partial_kw = dict(kw)
+        partial_kw["max_iterations"] = 2
+        HyperMapper(space, objectives, fn, checkpoint_path=ck, **partial_kw).run()
+        resumed = HyperMapper(space, objectives, fn, **kw).run(resume_from=ck)
+        assert hist_dump(resumed) == hist_dump(full)
+        assert reports_dump(resumed) == reports_dump(full)
+        front_full = [(dict(r.config), r.metrics) for r in full.pareto]
+        front_resumed = [(dict(r.config), r.metrics) for r in resumed.pareto]
+        assert front_resumed == front_full
+
+    def test_resume_equals_uninterrupted_serial(self, toy_space, objectives, tmp_path):
+        self._resume_equals_full(toy_space, objectives, toy_evaluate, tmp_path)
+
+    def test_resume_equals_uninterrupted_async_overlap(self, toy_space, objectives, tmp_path):
+        self._resume_equals_full(
+            toy_space,
+            objectives,
+            toy_evaluate,
+            tmp_path,
+            extra={"n_workers": 3, "overlap_fraction": 0.5},
+        )
+
+    def test_resume_after_bootstrap_only(self, toy_space, objectives, tmp_path):
+        ck = os.path.join(str(tmp_path), "boot-checkpoint.json")
+        kw = dict(self.KW)
+        full = HyperMapper(toy_space, objectives, toy_evaluate, **kw).run()
+        boot_kw = dict(kw)
+        boot_kw["max_iterations"] = 0
+        HyperMapper(toy_space, objectives, toy_evaluate, checkpoint_path=ck, **boot_kw).run()
+        resumed = HyperMapper(toy_space, objectives, toy_evaluate, **kw).run(resume_from=ck)
+        assert hist_dump(resumed) == hist_dump(full)
+
+    def test_resume_of_converged_run_stays_converged(self, toy_space, objectives, tmp_path):
+        # No per-iteration cap and plenty of iterations: the search converges
+        # (empty predicted-front proposal) before max_iterations.
+        kw = dict(n_random_samples=10, max_iterations=10, pool_size=None,
+                  max_samples_per_iteration=None, seed=1)
+        ck = os.path.join(str(tmp_path), "conv-checkpoint.json")
+        full = HyperMapper(toy_space, objectives, toy_evaluate, **kw).run()
+        assert len(full.iterations) < 10  # it really converged early
+        HyperMapper(toy_space, objectives, toy_evaluate, checkpoint_path=ck, **kw).run()
+        calls = []
+
+        def counting(config):
+            calls.append(config)
+            return toy_evaluate(config)
+
+        resumed = HyperMapper(toy_space, objectives, counting, **kw).run(resume_from=ck)
+        # A converged checkpoint is terminal: nothing is re-evaluated and the
+        # search is not re-opened with surrogates the original never fitted.
+        assert calls == []
+        assert hist_dump(resumed) == hist_dump(full)
+        assert reports_dump(resumed) == reports_dump(full)
+
+    def test_resume_rejects_mismatched_driver(self, toy_space, objectives, tmp_path):
+        ck = os.path.join(str(tmp_path), "mismatch-checkpoint.json")
+        kw = dict(self.KW)
+        partial_kw = dict(kw)
+        partial_kw["max_iterations"] = 1
+        HyperMapper(toy_space, objectives, toy_evaluate, checkpoint_path=ck, **partial_kw).run()
+        # Wrong master seed: resuming would silently diverge, so it raises.
+        wrong_seed = dict(kw)
+        wrong_seed["seed"] = 12345
+        with pytest.raises(ValueError, match="master seed"):
+            HyperMapper(toy_space, objectives, toy_evaluate, **wrong_seed).run(resume_from=ck)
+        # Wrong driver family (rng label): also rejected.
+        from repro.core.baselines import RandomSearch
+
+        rs = RandomSearch(toy_space, objectives, toy_evaluate, seed=kw["seed"])
+        with pytest.raises(ValueError, match="cannot resume"):
+            rs._driver(n_random_samples=5).run(resume_from=ck)
+
+    def test_resume_excludes_initial_history(self, toy_space, objectives, tmp_path):
+        ck = os.path.join(str(tmp_path), "excl-checkpoint.json")
+        kw = dict(self.KW)
+        partial_kw = dict(kw)
+        partial_kw["max_iterations"] = 1
+        HyperMapper(toy_space, objectives, toy_evaluate, checkpoint_path=ck, **partial_kw).run()
+        warm = History(objectives)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            HyperMapper(toy_space, objectives, toy_evaluate, **kw).run(
+                initial_history=warm, resume_from=ck
+            )
+
+    def test_overlap_reports_are_internally_consistent(self, toy_space, objectives):
+        result = HyperMapper(
+            toy_space, objectives, toy_evaluate, n_workers=3, overlap_fraction=0.5, **self.KW
+        ).run()
+        prev_total = None
+        for report in result.iterations:
+            if prev_total is not None:
+                assert report.n_evaluations_total - prev_total == report.n_new_samples
+            prev_total = report.n_evaluations_total
+
+    def test_resume_counts_no_redundant_evaluations(self, toy_space, objectives, tmp_path):
+        ck = os.path.join(str(tmp_path), "count-checkpoint.json")
+        kw = dict(self.KW)
+        partial_kw = dict(kw)
+        partial_kw["max_iterations"] = 2
+        HyperMapper(toy_space, objectives, toy_evaluate, checkpoint_path=ck, **partial_kw).run()
+        calls = []
+
+        def counting(config):
+            calls.append(config)
+            return toy_evaluate(config)
+
+        full = HyperMapper(toy_space, objectives, toy_evaluate, **kw).run()
+        resumed = HyperMapper(toy_space, objectives, counting, **kw).run(resume_from=ck)
+        # Only post-checkpoint configurations are re-evaluated.
+        n_checkpointed = sum(1 for r in resumed.history.records if r.iteration <= 2)
+        assert len(calls) == len(resumed.history) - n_checkpointed
+        assert hist_dump(resumed) == hist_dump(full)
+
+
+class TestBudgetAccounting:
+    KW = dict(n_random_samples=10, max_iterations=4, pool_size=None, max_samples_per_iteration=6, seed=3)
+
+    def test_partial_batch_budget_exact_and_deterministic(self, toy_space, objectives):
+        dumps = []
+        for _ in range(2):
+            executor = EvaluationExecutor(toy_evaluate, objectives, max_evaluations=17)
+            result = HyperMapper(toy_space, objectives, executor, **self.KW).run()
+            assert executor.n_evaluations == 17
+            assert len(result.history) == 17  # the affordable prefix, exactly
+            dumps.append(hist_dump(result))
+        assert dumps[0] == dumps[1]
+
+    def test_budget_adopted_from_wrapped_evaluator(self, toy_space, objectives):
+        inner = FunctionEvaluator(toy_evaluate, objectives, max_evaluations=13)
+        result = HyperMapper(toy_space, objectives, inner, **self.KW).run()
+        # The engine enforces the budget prefix-wise instead of letting the
+        # wrapped evaluator refuse whole batches.
+        assert inner.n_evaluations == 13
+        assert len(result.history) == 13
+
+    def test_budget_counts_cache_hits_as_free(self, toy_space, objectives):
+        executor = EvaluationExecutor(toy_evaluate, objectives, max_evaluations=3)
+        configs = toy_space.sample(3, rng=0)
+        executor.evaluate(configs)
+        # Re-evaluating cached configurations consumes no budget.
+        again = executor.evaluate(configs)
+        assert executor.n_evaluations == 3
+        assert again == executor.evaluate(configs)
+
+    def test_baselines_survive_budget_exhaustion(self, toy_space, objectives):
+        from repro.core.baselines import BanditSearch, EvolutionarySearch, LocalSearch
+
+        # The executor budget may cut a proposal's accepted batch to zero;
+        # strategies must never observe an empty batch (regression: the
+        # local-search strategy crashed on min() of an empty sequence).
+        for budget in (6, 11):
+            executor = EvaluationExecutor(toy_evaluate, objectives, max_evaluations=budget)
+            result = LocalSearch(toy_space, objectives, executor, n_restarts=2, seed=0).run(30)
+            assert len(result.history) <= budget
+        for search_cls in (EvolutionarySearch, BanditSearch):
+            executor = EvaluationExecutor(toy_evaluate, objectives, max_evaluations=9)
+            result = search_cls(toy_space, objectives, executor, seed=0).run(24)
+            assert len(result.history) <= 9
+
+    def test_partial_prefix_semantics(self, toy_space, objectives):
+        executor = EvaluationExecutor(toy_evaluate, objectives, max_evaluations=2)
+        configs = toy_space.sample(4, rng=1)
+        futures, accepted = executor.submit(configs)
+        assert accepted == 2
+        assert [f.config for f in futures] == configs[:2]
+        assert executor.budget_remaining == 0
+
+    def test_evaluate_refuses_unaffordable_batch_atomically(self, toy_space, objectives):
+        from repro.core.evaluator import EvaluationBudgetExceeded
+
+        calls = []
+
+        def counting(config):
+            calls.append(config)
+            return toy_evaluate(config)
+
+        executor = EvaluationExecutor(counting, objectives, max_evaluations=3)
+        configs = toy_space.sample(5, rng=9)
+        with pytest.raises(EvaluationBudgetExceeded):
+            executor.evaluate(configs)
+        # The refusal is atomic: nothing ran, no budget was consumed, so the
+        # caller can still spend the remaining budget on a smaller batch.
+        assert calls == [] and executor.n_evaluations == 0
+        assert executor.evaluate(configs[:3]) == [toy_evaluate(c) for c in configs[:3]]
+        assert executor.n_evaluations == 3
+
+
+class TestExecutorMechanics:
+    def test_results_in_submission_order(self, toy_space, objectives):
+        import time
+
+        def slow_first(config):
+            # The first-submitted configuration finishes last.
+            if bool(config["fast"]):
+                time.sleep(0.05)
+            return toy_evaluate(config)
+
+        configs = sorted(toy_space.sample(6, rng=2), key=lambda c: not bool(c["fast"]))
+        with EvaluationExecutor(slow_first, objectives, n_workers=4) as executor:
+            futures, _ = executor.submit(configs)
+            results = executor.gather(futures)
+        assert results == [toy_evaluate(c) for c in configs]
+
+    def test_inflight_deduplication(self, toy_space, objectives):
+        import threading
+        import time
+
+        calls = []
+        lock = threading.Lock()
+
+        def counting(config):
+            with lock:
+                calls.append(config)
+            time.sleep(0.02)
+            return toy_evaluate(config)
+
+        config = toy_space.sample(1, rng=3)[0]
+        with EvaluationExecutor(counting, objectives, n_workers=2) as executor:
+            futures_a, _ = executor.submit([config])
+            futures_b, _ = executor.submit([config])  # duplicate while in flight
+            assert executor.n_evaluations == 1
+            ra = executor.gather(futures_a)
+            rb = executor.gather(futures_b)
+        assert ra == rb and len(calls) == 1
+
+    def test_batch_duplicates_single_evaluation(self, toy_space, objectives):
+        calls = []
+
+        def counting(config):
+            calls.append(config)
+            return toy_evaluate(config)
+
+        config = toy_space.sample(1, rng=4)[0]
+        executor = EvaluationExecutor(counting, objectives)
+        results = executor.evaluate([config, config, config])
+        assert len(calls) == 1
+        assert results[0] == results[1] == results[2]
+        assert executor.cache_size == 1 and executor.is_cached(config)
+
+    def test_process_backend_evaluates(self, toy_space, objectives):
+        # The submission must stay picklable: the executor (which holds the
+        # process pool) must never cross the pickle boundary itself.
+        configs = toy_space.sample(3, rng=7)
+        with EvaluationExecutor(toy_evaluate, objectives, n_workers=2, backend="process") as executor:
+            results = executor.evaluate(configs)
+        assert results == [toy_evaluate(c) for c in configs]
+
+    def test_uncached_batch_dedup_matches_across_worker_counts(self, toy_space, objectives):
+        config = toy_space.sample(1, rng=8)[0]
+        counts = {}
+        for n_workers in (1, 2):
+            calls = []
+
+            def counting(c):
+                calls.append(c)
+                return toy_evaluate(c)
+
+            with EvaluationExecutor(counting, objectives, n_workers=n_workers, cache=False) as ex:
+                ex.evaluate([config, config, config])
+                counts[n_workers] = (len(calls), ex.n_evaluations)
+        # Same-batch duplicates are free regardless of worker count, so
+        # budget consumption never depends on parallelism.
+        assert counts[1] == counts[2] == (1, 1)
+
+    def test_closed_executor_rejects_submissions(self, toy_space, objectives):
+        executor = EvaluationExecutor(toy_evaluate, objectives, n_workers=2)
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.submit(toy_space.sample(1, rng=5))
+
+    def test_parallel_evaluator_persistent_pool(self, toy_space, objectives):
+        evaluator = ParallelEvaluator(toy_evaluate, objectives, n_workers=2)
+        configs = toy_space.sample(4, rng=6)
+        evaluator.evaluate(configs)
+        pool_first = evaluator._pool
+        assert pool_first is not None
+        evaluator.evaluate(configs)
+        assert evaluator._pool is pool_first  # reused, not rebuilt
+        evaluator.close()
+        assert evaluator._pool is None
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate(configs)
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate(configs[:1])  # serial path honors close() too
+        with ParallelEvaluator(toy_evaluate, objectives, n_workers=2) as ctx:
+            assert ctx.evaluate(configs[:2]) == [toy_evaluate(c) for c in configs[:2]]
+
+
+class TestAcquisitionStrategies:
+    KW = dict(n_random_samples=10, max_iterations=3, pool_size=None, max_samples_per_iteration=5, seed=11)
+
+    def test_epsilon_zero_equals_predicted_pareto(self, toy_space, objectives):
+        base = HyperMapper(toy_space, objectives, toy_evaluate, **self.KW).run()
+        eps0 = HyperMapper(
+            toy_space, objectives, toy_evaluate, acquisition=EpsilonGreedy(epsilon=0.0), **self.KW
+        ).run()
+        assert hist_dump(eps0) == hist_dump(base)
+
+    @pytest.mark.parametrize(
+        "acquisition",
+        [UncertaintyWeighted(beta=1.0), EpsilonGreedy(epsilon=0.25), "uncertainty_weighted", "epsilon_greedy"],
+    )
+    def test_variants_run_and_are_deterministic(self, toy_space, objectives, acquisition):
+        def fresh(a):
+            return make_acquisition(a) if isinstance(a, str) else type(a)(**(
+                {"beta": a.beta} if isinstance(a, UncertaintyWeighted) else {"epsilon": a.epsilon}
+            ))
+
+        r1 = HyperMapper(
+            toy_space, objectives, toy_evaluate, acquisition=fresh(acquisition), **self.KW
+        ).run()
+        r2 = HyperMapper(
+            toy_space, objectives, toy_evaluate, acquisition=fresh(acquisition), **self.KW
+        ).run()
+        assert hist_dump(r1) == hist_dump(r2)
+        assert len(r1.pareto) >= 1
+        # Proposals never repeat an evaluated configuration.
+        configs = [r.config for r in r1.history.records]
+        assert len(configs) == len(set(configs))
+
+    def test_epsilon_greedy_explores(self, toy_space, objectives):
+        base = HyperMapper(toy_space, objectives, toy_evaluate, **self.KW).run()
+        eps = HyperMapper(
+            toy_space, objectives, toy_evaluate, acquisition=EpsilonGreedy(epsilon=0.5), **self.KW
+        ).run()
+        assert hist_dump(eps) != hist_dump(base)
+
+    def test_unknown_acquisition_rejected(self, toy_space, objectives):
+        with pytest.raises(ValueError):
+            make_acquisition("no_such_strategy")
+
+
+class TestEngineBookkeeping:
+    def test_fit_seconds_is_per_iteration_lap(self):
+        timer = Timer()
+        import time
+
+        with timer.lap("fit"):
+            time.sleep(0.02)
+        with timer.lap("fit"):
+            pass
+        # ``last`` reports the most recent lap, not the running mean.
+        assert timer.last("fit") < 0.01 < timer.mean("fit") * 2
+        assert timer.last("missing") == 0.0
+
+    def test_reports_use_last_fit_lap(self, toy_space, objectives):
+        result = HyperMapper(
+            toy_space,
+            objectives,
+            toy_evaluate,
+            n_random_samples=10,
+            max_iterations=3,
+            pool_size=None,
+            seed=2,
+        ).run()
+        assert len(result.iterations) >= 2
+        for report in result.iterations:
+            assert report.surrogate_fit_seconds >= 0.0
+
+    def test_history_from_dicts_roundtrip(self, toy_space, objectives):
+        result = HyperMapper(
+            toy_space,
+            objectives,
+            toy_evaluate,
+            n_random_samples=8,
+            max_iterations=2,
+            pool_size=None,
+            seed=4,
+        ).run()
+        revived = History.from_dicts(objectives, result.history.to_dicts(), space=toy_space)
+        assert hist_dump(revived) == hist_dump(result.history)
+        # Revived configurations hash-compare equal to the originals.
+        assert revived.configuration_set() == result.history.configuration_set()
+
+    def test_encoded_pool_position_ranks(self, toy_space):
+        pool = build_encoded_pool(toy_space, None)
+        c = pool.configs[17]
+        assert pool.position(c) == 17
+        outsider = toy_space.default_configuration().replace(a=2, b=0.2, fast=True, mode="y")
+        # The default pool enumerates the whole space, so any valid config ranks.
+        assert pool.position(outsider) is not None
+
+    def test_baselines_share_executor_cache(self, toy_space, objectives):
+        from repro.core.baselines import RandomSearch
+
+        calls = []
+
+        def counting(config):
+            calls.append(config)
+            return toy_evaluate(config)
+
+        with EvaluationExecutor(counting, objectives) as executor:
+            r1 = RandomSearch(toy_space, objectives, executor, seed=0).run(15)
+            n_after_first = len(calls)
+            r2 = RandomSearch(toy_space, objectives, executor, seed=0).run(15)
+        assert hist_dump(r1) == hist_dump(r2)
+        assert len(calls) == n_after_first  # second run fully served from cache
