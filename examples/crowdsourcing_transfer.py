@@ -11,14 +11,17 @@ Run with:  python examples/crowdsourcing_transfer.py
 
 from repro.crowd import CrowdDatabase, cross_device_correlation, run_crowd_experiment, speedup_statistics
 from repro.devices import ODROID_XU3, make_mobile_fleet
-from repro.slambench import SlamBenchRunner, kfusion_default_config, kfusion_design_space
+from repro.slambench import get_workload
 from repro.utils import format_table
 
 
 def main() -> None:
-    runner = SlamBenchRunner("kfusion", n_frames=25, width=56, height=42, dataset_seed=3)
+    # The workload registry supplies runner, default configuration and design
+    # space by name — the same resolution path scenario files use.
+    workload = get_workload("kfusion")
+    runner = workload.make_runner(n_frames=25, width=56, height=42, dataset_seed=3)
 
-    default = dict(kfusion_default_config())
+    default = dict(workload.default_config())
     # A hand-picked "tuned" configuration in the spirit of the ODROID Pareto
     # front: small volume, half-resolution input, sparser integration.
     tuned = dict(
@@ -51,7 +54,7 @@ def main() -> None:
 
     # Why does the transfer work?  Per-configuration runtimes are strongly
     # rank-correlated between the tuning device and the fleet devices.
-    probes = [dict(c) for c in kfusion_design_space().sample(12, rng=0)]
+    probes = [dict(c) for c in workload.space().sample(12, rng=0)]
     corr = cross_device_correlation(runner, probes, ODROID_XU3, fleet[0])
     print(
         f"\nruntime correlation between {ODROID_XU3.name} and {fleet[0].name} over {len(probes)} configurations: "

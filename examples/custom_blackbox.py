@@ -1,18 +1,14 @@
 #!/usr/bin/env python3
-"""Using the search engine on your own multi-objective black box.
+"""Using the scenario API on your own multi-objective black box.
 
-The engine is application-agnostic: declare a design space, declare the
-objectives, provide a callable mapping a configuration to metric values, and
-run.  This example tunes a synthetic "kernel autotuning" problem (tile sizes,
-unrolling, vectorization flags) with two conflicting objectives — runtime and
-energy — and compares three acquisition strategies on the *same*
-``SearchDriver`` loop kernel and shared ``EvaluationExecutor``:
-
-* ``PredictedPareto`` — the paper's Algorithm 1 (what ``HyperMapper`` runs),
-* ``UncertaintyWeighted`` — optimistic lower-confidence-bound exploration,
-* ``EpsilonGreedy`` — a fraction of every batch is uniformly random,
-
-plus plain random search at the same budget.
+The engine is application-agnostic and the scenario API is extensible:
+register your evaluator under a name and plain-dict scenarios can select it
+like any built-in plugin.  This example tunes a synthetic "kernel
+autotuning" problem (tile sizes, unrolling, vectorization flags) with two
+conflicting objectives — runtime and energy — and compares three acquisition
+strategies plus plain random search, all expressed as scenarios that differ
+only in their ``search`` section and all sharing one ``EvaluationExecutor``
+(so memoized evaluations are reused across strategies).
 
 Run with:  python examples/custom_blackbox.py
 """
@@ -22,16 +18,14 @@ import numpy as np
 from repro.core import (
     BooleanParameter,
     DesignSpace,
-    EpsilonGreedy,
     EvaluationExecutor,
+    EvaluatorBinding,
     Objective,
     ObjectiveSet,
     OrdinalParameter,
-    PredictedPareto,
-    RandomSearch,
-    SearchDriver,
-    UncertaintyWeighted,
+    Study,
     hypervolume_2d,
+    register_evaluator,
 )
 
 
@@ -70,31 +64,45 @@ def main() -> None:
     budget = 120
     reference = [8.0, 6.0]
 
+    # Third-party extension in three lines: the registered name becomes a
+    # valid `evaluator.type` for every scenario in this process — the same
+    # mechanism a deployment would use to plug in real hardware harnesses.
+    @register_evaluator("demo_kernel_autotuner")
+    def make_demo_evaluator(spec, **_):
+        return EvaluatorBinding(fn=evaluate, space=space, objectives=objectives)
+
+    make_demo_evaluator.provides_problem = True
+
+    def scenario(search):
+        return {
+            "schema_version": 1,
+            "name": "kernel-autotuning",
+            "evaluator": {"type": "demo_kernel_autotuner"},
+            "search": search,
+            "seed": 0,
+        }
+
+    hm_search = {
+        "algorithm": "hypermapper",
+        "n_random_samples": budget // 2,
+        "max_iterations": 4,
+        "max_samples_per_iteration": budget // 8,
+        "pool_size": None,  # the space is small enough to enumerate
+    }
+    searches = {
+        "predicted_pareto": dict(hm_search, acquisition="predicted_pareto"),
+        "uncertainty_lcb": dict(hm_search, acquisition={"name": "uncertainty_weighted", "beta": 1.0}),
+        "epsilon_greedy": dict(hm_search, acquisition={"name": "epsilon_greedy", "epsilon": 0.2}),
+        "random_search": {"algorithm": "random", "budget": budget},
+    }
+
     # One shared executor: every strategy reuses its memoized evaluations, so
     # the comparison costs far fewer black-box runs than 4x the budget.
     with EvaluationExecutor(evaluate, objectives, n_workers=2) as executor:
-        strategies = {
-            "predicted_pareto": PredictedPareto(),
-            "uncertainty_lcb": UncertaintyWeighted(beta=1.0),
-            "epsilon_greedy": EpsilonGreedy(epsilon=0.2),
+        results = {
+            name: Study(scenario(search), executor=executor).run()
+            for name, search in searches.items()
         }
-        results = {}
-        for name, acquisition in strategies.items():
-            driver = SearchDriver(
-                space,
-                objectives,
-                executor,
-                acquisition,
-                n_random_samples=budget // 2,
-                max_iterations=4,
-                max_samples_per_iteration=budget // 8,
-                pool_size=None,  # the space is small enough to enumerate
-                seed=0,
-                rng_label="hypermapper",
-            )
-            results[name] = driver.run()
-
-        results["random_search"] = RandomSearch(space, objectives, executor, seed=0).run(budget)
         n_black_box = executor.n_evaluations
 
     print(f"distinct black-box evaluations across all four searches: {n_black_box}")

@@ -6,48 +6,35 @@ confidence threshold plus five boolean flags) on the simulated GTX 780 Ti and
 prints a Table-I-style summary: the default row, the best-speed row and the
 best-accuracy row with their parameter values.
 
+The whole exploration is described by the shipped scenario file
+``examples/scenarios/elasticfusion.json`` — the same file runs unchanged via
+``python -m repro run examples/scenarios/elasticfusion.json``.
+
 Run with:  python examples/elasticfusion_tradeoff.py
 """
 
-from repro.core import HyperMapper
+import os
+
+from repro.core import Study
 from repro.devices import NVIDIA_GTX_780TI
-from repro.slambench import (
-    SlamBenchRunner,
-    elasticfusion_default_config,
-    elasticfusion_design_space,
-    elasticfusion_objectives,
-)
+from repro.slambench import get_workload
 from repro.slambench.parameters import table1_flag_columns
 from repro.utils import format_table
 
+SCENARIO = os.path.join(os.path.dirname(__file__), "scenarios", "elasticfusion.json")
+
 
 def main() -> None:
-    runner = SlamBenchRunner(
-        "elasticfusion",
-        n_frames=25,
-        width=56,
-        height=42,
-        dataset_seed=2,
-        elasticfusion_kwargs={"fusion_stride": 2},
-    )
-    evaluate = runner.evaluation_function(NVIDIA_GTX_780TI)
-    space = elasticfusion_design_space()
-    objectives = elasticfusion_objectives()
+    # Build the runner through the workload registry (same scale as the
+    # scenario's evaluator section) so the default-configuration baseline
+    # reuses the study's simulation cache.
+    workload = get_workload("elasticfusion")
+    runner = workload.make_runner(n_frames=25, width=56, height=42, dataset_seed=2)
 
-    default = elasticfusion_default_config()
-    default_metrics = evaluate(default)
+    default = workload.default_config()
+    default_metrics = runner.evaluate(default, NVIDIA_GTX_780TI)
 
-    optimizer = HyperMapper(
-        space,
-        objectives,
-        evaluate,
-        n_random_samples=40,
-        max_iterations=2,
-        max_samples_per_iteration=15,
-        pool_size=2000,
-        seed=7,
-    )
-    result = optimizer.run()
+    result = Study(SCENARIO, runner=runner).run()
 
     def row(label, config, metrics):
         flags = table1_flag_columns(dict(config))

@@ -1,17 +1,18 @@
 #!/usr/bin/env python3
 """Quickstart: tune KinectFusion's algorithmic parameters for an embedded GPU.
 
-This is the paper's core use case in miniature: HyperMapper explores the
-KFusion design space on a simulated ODROID-XU3, trading per-frame runtime
-against trajectory accuracy, and prints the resulting Pareto front next to the
-expert default configuration.
+This is the paper's core use case in miniature, driven entirely by the
+declarative scenario API: ``examples/scenarios/quickstart.json`` describes
+the design space (via the ``kfusion`` workload), the device, the search and
+the budget; the :class:`~repro.core.study.Study` front door compiles it into
+the engine stack, runs it, and persists a versioned run directory
+(scenario.json, history.jsonl, pareto.json, report.json, checkpoints/).
 
-It also shows the engine layer the optimizer runs on:
+The same scenario runs from the command line:
 
-* evaluations go through an async batched ``EvaluationExecutor`` (two
-  workers here — the SLAM simulator releases the GIL inside NumPy kernels),
-* the run writes a checkpoint after every iteration and is resumed from it,
-  bit-identically, as a long hardware campaign would be after a crash.
+    python -m repro run examples/scenarios/quickstart.json
+    python -m repro report runs/quickstart
+    python -m repro resume runs/quickstart
 
 Run with:  python examples/quickstart.py
 """
@@ -19,78 +20,48 @@ Run with:  python examples/quickstart.py
 import os
 import tempfile
 
-from repro.core import EvaluationExecutor, HyperMapper
-from repro.devices import ODROID_XU3
-from repro.slambench import (
-    SlamBenchRunner,
-    kfusion_default_config,
-    kfusion_design_space,
-    kfusion_objectives,
-)
+from repro.core import Study, StudyResult
 from repro.utils import format_table
+
+SCENARIO = os.path.join(os.path.dirname(__file__), "scenarios", "quickstart.json")
 
 
 def main() -> None:
-    # 1. The black box: run the KFusion pipeline over a short synthetic
-    #    sequence and score (max ATE, per-frame runtime on the ODROID-XU3).
-    runner = SlamBenchRunner("kfusion", n_frames=30, width=64, height=48, dataset_seed=1)
-    evaluate = runner.evaluation_function(ODROID_XU3)
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = os.path.join(tmp, "quickstart-run")
 
-    # 2. The design space and objectives straight from the paper.
-    space = kfusion_design_space()
-    objectives = kfusion_objectives()
-    print(f"KFusion design space: {space.dimension} parameters, {space.cardinality:,.0f} configurations")
-
-    # 3. The expert baseline.
-    default = kfusion_default_config()
-    default_metrics = evaluate(default)
-    print(
-        f"default configuration: {default_metrics['runtime_s'] * 1000:.1f} ms/frame "
-        f"({default_metrics['fps']:.1f} FPS), max ATE {default_metrics['max_ate_m'] * 100:.2f} cm"
-    )
-
-    # 4. The evaluation executor: the engine-side stand-in for the board
-    #    fleet.  Batches are submitted as futures, deduplicated and gathered
-    #    in submission order, so results stay bit-reproducible.
-    with tempfile.TemporaryDirectory() as tmp, EvaluationExecutor(
-        evaluate, objectives, n_workers=2
-    ) as executor:
-        checkpoint = os.path.join(tmp, "quickstart-checkpoint.json")
-
-        # 5. HyperMapper: random bootstrap + random-forest active learning,
-        #    checkpointing after every iteration.
-        optimizer = HyperMapper(
-            space,
-            objectives,
-            executor,
-            n_random_samples=60,
-            max_iterations=3,
-            max_samples_per_iteration=25,
-            pool_size=3000,
-            seed=42,
-            checkpoint_path=checkpoint,
-        )
-        result = optimizer.run()
-
-        # 6. Kill-and-resume drill: a fresh optimizer continues from the
-        #    checkpoint and reproduces the exact same history.
-        resumed = HyperMapper(
-            space,
-            objectives,
-            executor,
-            n_random_samples=60,
-            max_iterations=3,
-            max_samples_per_iteration=25,
-            pool_size=3000,
-            seed=42,
-        ).run(resume_from=checkpoint)
-        assert resumed.history.to_dicts() == result.history.to_dicts()
+        # 1. Compile + run the declarative scenario.  The kfusion workload
+        #    supplies the paper's design space and objectives; the odroid-xu3
+        #    device model supplies the runtime side of the trade-off.
+        study = Study(SCENARIO)
+        result = study.run(run_dir=run_dir)
+        space = result.space
         print(
-            f"checkpoint/resume: {len(resumed.history)} evaluations reproduced bit-identically "
-            f"({executor.n_evaluations} distinct black-box runs)"
+            f"KFusion design space: {space.dimension} parameters, "
+            f"{space.cardinality:,.0f} configurations"
+        )
+        print(
+            f"run artifacts: {sorted(os.path.basename(p) for p in os.listdir(run_dir))}"
         )
 
-    # 7. Report the Pareto front.
+        # 2. The run directory reloads into a StudyResult without re-running
+        #    anything — the persisted history.jsonl is the source of truth.
+        loaded = StudyResult.load(run_dir)
+        assert loaded.history.to_dicts() == result.history.to_dicts()
+        report = loaded.report()
+        print(
+            f"report (from history.jsonl): {report['n_evaluations']} evaluations, "
+            f"{report['n_feasible']} feasible, {report['n_pareto']} Pareto points"
+        )
+
+        # 3. Kill-and-resume drill: resuming a finished run replays the
+        #    checkpoint to the bit-identical result, exactly as a crashed
+        #    hardware campaign would continue.
+        resumed = Study.resume(run_dir)
+        assert resumed.history.to_dicts() == result.history.to_dicts()
+        print(f"checkpoint/resume: {len(resumed.history)} evaluations reproduced bit-identically")
+
+    # 4. Report the Pareto front.
     rows = []
     for record in result.pareto:
         m = record.metrics
@@ -111,13 +82,15 @@ def main() -> None:
             rows,
             headers=["ms/frame", "FPS", "max ATE (cm)", "volume", "csr", "track rate", "integ rate"],
             title=f"Pareto front after {len(result.history)} evaluations "
-            f"({result.history.summary()['per_source']})",
+            f"({result.report()['per_source']})",
         )
     )
     best = result.best_by("runtime_s")
     if best is not None:
-        speedup = default_metrics["runtime_s"] / best.metrics["runtime_s"]
-        print(f"\nbest-runtime valid configuration is {speedup:.1f}x faster than the default")
+        print(
+            f"\nbest-runtime valid configuration: {best.metrics['runtime_s'] * 1000:.1f} ms/frame "
+            f"({1.0 / best.metrics['runtime_s']:.1f} FPS)"
+        )
 
 
 if __name__ == "__main__":

@@ -23,12 +23,31 @@ Subpackages
 
 Quickstart
 ----------
+The public API is declarative: a scenario (dict/JSON/TOML) names the
+workload, device, search and budget, and the :class:`~repro.core.study.Study`
+front door runs it (see ``docs/scenarios.md``; the same files run via
+``python -m repro run``):
+
+>>> from repro.core import Study
+>>> scenario = {
+...     "schema_version": 1,
+...     "evaluator": {"type": "slambench", "workload": "kfusion",
+...                   "device": "odroid-xu3", "n_frames": 20,
+...                   "width": 48, "height": 36},
+...     "search": {"algorithm": "hypermapper", "n_random_samples": 20,
+...                "max_iterations": 2, "pool_size": 500},
+...     "seed": 0,
+... }
+>>> result = Study(scenario).run()  # doctest: +SKIP
+
+The imperative facade remains fully supported:
+
 >>> from repro.core import HyperMapper
->>> from repro.slambench import (SlamBenchRunner, kfusion_design_space,
-...                              kfusion_objectives)
+>>> from repro.slambench import get_workload
 >>> from repro.devices import ODROID_XU3
->>> runner = SlamBenchRunner("kfusion", n_frames=20, width=48, height=36)
->>> hm = HyperMapper(kfusion_design_space(), kfusion_objectives(),
+>>> workload = get_workload("kfusion")
+>>> runner = workload.make_runner(n_frames=20, width=48, height=36)
+>>> hm = HyperMapper(workload.space(), workload.objectives(),
 ...                  runner.evaluation_function(ODROID_XU3),
 ...                  n_random_samples=20, max_iterations=2, pool_size=500, seed=0)
 >>> result = hm.run()  # doctest: +SKIP

@@ -1,0 +1,204 @@
+"""The ``python -m repro`` command line: the single operational entry point.
+
+Subcommands
+-----------
+``run <scenario>``
+    Validate a scenario file (JSON or TOML), execute it through
+    :class:`~repro.core.study.Study`, persist a versioned run directory and
+    print the report.
+``resume <run_dir>``
+    Continue a killed run from its engine checkpoint (bit-identical to the
+    uninterrupted run); a finished run just replays to the same result.
+``validate <scenario>...``
+    Validate scenario files without running anything.  Errors carry
+    JSON-pointer-style paths to the offending key.
+``report <run_dir>``
+    Print the report of a persisted run, derived from its ``history.jsonl``.
+``list-plugins``
+    Show every registered plugin name (acquisitions, search algorithms,
+    evaluators, workloads, devices).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.registry import registry_snapshot
+from repro.core.scenario import Scenario, ScenarioError
+from repro.core.study import Study, StudyResult
+from repro.utils.tables import format_table
+
+
+def _print_report(result: StudyResult, out=None) -> None:
+    report = result.report()
+    lines: List[str] = []
+    lines.append(
+        f"study {report['scenario']!r} ({report['algorithm']}): "
+        f"{report['n_evaluations']} evaluations, {report['n_feasible']} feasible, "
+        f"{report['n_pareto']} Pareto points"
+    )
+    per_source = ", ".join(f"{k}={v}" for k, v in sorted(report["per_source"].items()))
+    lines.append(f"  evaluations by source: {per_source}")
+    engine = report.get("engine", {})
+    if engine:
+        lines.append(
+            f"  engine: {engine.get('n_workers', 1)} worker(s), "
+            f"acquisition {engine.get('acquisition')}, "
+            f"{engine.get('n_black_box_evaluations', 'n/a')} distinct black-box runs"
+        )
+    rows = []
+    for name, entry in report["best"].items():
+        if entry is None:
+            rows.append([name, "(no feasible point)", ""])
+        else:
+            value = entry["metrics"][name]
+            config = ", ".join(f"{k}={v}" for k, v in entry["config"].items())
+            rows.append([name, f"{value:.6g}", config])
+    lines.append(format_table(rows, headers=["objective", "best", "configuration"], title="  Best per objective:"))
+    if result.run_dir is not None:
+        lines.append(f"  artifacts: {result.run_dir}")
+    print("\n".join(lines), file=out if out is not None else sys.stdout)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario_path = Path(args.scenario)
+    try:
+        scenario = Scenario.from_file(scenario_path)
+    except FileNotFoundError:
+        print(f"error: {scenario_path}: no such file", file=sys.stderr)
+        return 2
+    except ScenarioError as exc:
+        print(f"error: {scenario_path}: {exc}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        scenario = scenario.replace(seed=args.seed)
+    if args.run_dir:
+        run_dir = Path(args.run_dir)
+    else:
+        # The name comes off the wire — sanitize it before deriving a path
+        # so it cannot climb out of (or scatter nested dirs under) runs/.
+        safe_name = re.sub(r"[^A-Za-z0-9._-]+", "-", scenario.name).strip(".-") or "scenario"
+        run_dir = Path("runs") / safe_name
+    if (run_dir / "history.jsonl").exists() and not args.force:
+        print(
+            f"error: {run_dir} already holds a run (use --force to overwrite, "
+            f"or 'resume' to continue it)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = Study(scenario).run(run_dir=run_dir)
+    except ValueError as exc:  # includes ScenarioError (compile-time errors)
+        print(f"error: {scenario_path}: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        _print_report(result)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    try:
+        result = Study.resume(args.run_dir)
+    except (FileNotFoundError, ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        _print_report(result)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.scenarios:
+        try:
+            scenario = Scenario.from_file(path)
+        except FileNotFoundError:
+            print(f"{path}: error: no such file", file=sys.stderr)
+            failures += 1
+            continue
+        except ScenarioError as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(
+            f"{path}: ok (scenario {scenario.name!r}, "
+            f"algorithm {scenario.search_spec['algorithm']!r}, "
+            f"evaluator {scenario.evaluator_spec['type']!r})"
+        )
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        result = StudyResult.load(args.run_dir)
+    except (FileNotFoundError, ValueError, ScenarioError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.report(), indent=2, sort_keys=True))
+    else:
+        _print_report(result)
+    return 0
+
+
+def _cmd_list_plugins(args: argparse.Namespace) -> int:
+    snapshot: Dict[str, List[str]] = registry_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    for kind in sorted(snapshot):
+        print(f"{kind}:")
+        for name in snapshot[kind]:
+            print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Declarative multi-objective design-space exploration (HyperMapper reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a scenario file and persist a run directory")
+    p_run.add_argument("scenario", help="path to a .json or .toml scenario")
+    p_run.add_argument("--run-dir", help="run directory (default: runs/<scenario name>)")
+    p_run.add_argument("--seed", type=int, help="override the scenario's seed")
+    p_run.add_argument("--force", action="store_true", help="overwrite an existing run directory")
+    p_run.add_argument("--quiet", action="store_true", help="suppress the report printout")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_resume = sub.add_parser("resume", help="continue a run from its checkpoint")
+    p_resume.add_argument("run_dir", help="run directory written by 'run'")
+    p_resume.add_argument("--quiet", action="store_true", help="suppress the report printout")
+    p_resume.set_defaults(fn=_cmd_resume)
+
+    p_validate = sub.add_parser("validate", help="validate scenario files")
+    p_validate.add_argument("scenarios", nargs="+", help="scenario files to check")
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    p_report = sub.add_parser("report", help="print the report of a persisted run")
+    p_report.add_argument("run_dir", help="run directory written by 'run'")
+    p_report.add_argument("--json", action="store_true", help="emit the raw report JSON")
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_list = sub.add_parser("list-plugins", help="show every registered plugin name")
+    p_list.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_list.set_defaults(fn=_cmd_list_plugins)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return int(args.fn(args))
+
+
+__all__ = ["build_parser", "main"]

@@ -57,7 +57,26 @@ from repro.core.acquisition import (
     make_acquisition,
 )
 from repro.core.engine import SearchDriver, SearchState
+from repro.core.registry import (
+    Registry,
+    UnknownPluginError,
+    EvaluatorBinding,
+    SearchContext,
+    ACQUISITION_REGISTRY,
+    SEARCH_REGISTRY,
+    EVALUATOR_REGISTRY,
+    WORKLOAD_REGISTRY,
+    DEVICE_REGISTRY,
+    register_acquisition,
+    register_search,
+    register_evaluator,
+    register_workload,
+    register_device,
+    registry_snapshot,
+)
+from repro.core.scenario import SCENARIO_VERSION, Scenario, ScenarioError, validate_scenario
 from repro.core.optimizer import HyperMapper, HyperMapperResult, ActiveLearningReport
+from repro.core.study import RUN_DIR_VERSION, CompiledStudy, Study, StudyResult
 from repro.core.baselines import (
     RandomSearch,
     GridSearch,
@@ -112,6 +131,29 @@ __all__ = [
     "make_acquisition",
     "SearchDriver",
     "SearchState",
+    "Registry",
+    "UnknownPluginError",
+    "EvaluatorBinding",
+    "SearchContext",
+    "ACQUISITION_REGISTRY",
+    "SEARCH_REGISTRY",
+    "EVALUATOR_REGISTRY",
+    "WORKLOAD_REGISTRY",
+    "DEVICE_REGISTRY",
+    "register_acquisition",
+    "register_search",
+    "register_evaluator",
+    "register_workload",
+    "register_device",
+    "registry_snapshot",
+    "SCENARIO_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "validate_scenario",
+    "RUN_DIR_VERSION",
+    "CompiledStudy",
+    "Study",
+    "StudyResult",
     "Constraint",
     "BoundConstraint",
     "ConstraintSet",

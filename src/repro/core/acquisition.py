@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 import numpy as np
 
 from repro.core.pareto import pareto_mask
+from repro.core.registry import ACQUISITION_REGISTRY, UnknownPluginError, register_acquisition
 from repro.core.space import Configuration
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -198,6 +199,7 @@ class _SurrogateAcquisition(AcquisitionStrategy):
         )
 
 
+@register_acquisition("predicted_pareto")
 class PredictedPareto(_SurrogateAcquisition):
     """Algorithm 1's acquisition: evaluate the predicted Pareto front.
 
@@ -218,6 +220,7 @@ class PredictedPareto(_SurrogateAcquisition):
         )
 
 
+@register_acquisition("uncertainty_weighted")
 class UncertaintyWeighted(_SurrogateAcquisition):
     """Lower-confidence-bound acquisition using the across-tree spread.
 
@@ -253,6 +256,7 @@ class UncertaintyWeighted(_SurrogateAcquisition):
         return idx, lcb[idx]
 
 
+@register_acquisition("epsilon_greedy")
 class EpsilonGreedy(_SurrogateAcquisition):
     """Exploration wrapper: replace part of every batch with random picks.
 
@@ -314,6 +318,8 @@ class EpsilonGreedy(_SurrogateAcquisition):
         )
 
 
+#: Backward-compatible alias of the built-in entries; new registrations go
+#: through :func:`repro.core.registry.register_acquisition`.
 ACQUISITIONS = {
     "predicted_pareto": PredictedPareto,
     "uncertainty_weighted": UncertaintyWeighted,
@@ -322,15 +328,13 @@ ACQUISITIONS = {
 
 
 def make_acquisition(name_or_strategy, **kwargs) -> AcquisitionStrategy:
-    """Resolve an acquisition by name (``"predicted_pareto"``, ...) or pass through."""
+    """Resolve an acquisition by registered name or pass an instance through."""
     if isinstance(name_or_strategy, AcquisitionStrategy):
         return name_or_strategy
     try:
-        cls = ACQUISITIONS[str(name_or_strategy)]
-    except KeyError:
-        raise ValueError(
-            f"unknown acquisition {name_or_strategy!r}; available: {sorted(ACQUISITIONS)}"
-        ) from None
+        cls = ACQUISITION_REGISTRY.get(str(name_or_strategy))
+    except UnknownPluginError as exc:
+        raise ValueError(str(exc)) from None
     return cls(**kwargs)
 
 

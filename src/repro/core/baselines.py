@@ -23,7 +23,7 @@ bit-identical to the pre-engine implementations under a fixed seed.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.executor import EvaluationExecutor, as_executor
 from repro.core.history import EvaluationRecord
 from repro.core.objectives import ObjectiveSet
 from repro.core.pareto import crowding_distance, non_dominated_sort
+from repro.core.registry import SearchContext, register_search
 from repro.core.sampling import GridSampler, RandomSampler
 from repro.core.space import Configuration, DesignSpace
 from repro.utils.rng import RandomState, as_generator, derive_seed
@@ -54,11 +55,17 @@ class _BaseSearch:
         *,
         n_workers: int = 1,
         backend: str = "thread",
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        record_sink=None,
     ) -> None:
         self.space = space
         self.objectives = objectives
         self.executor = as_executor(evaluator, objectives, n_workers=n_workers, backend=backend)
         self.seed = seed
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.record_sink = record_sink
 
     @property
     def evaluator(self) -> EvaluationExecutor:
@@ -73,6 +80,9 @@ class _BaseSearch:
             strategy,
             bootstrap_source=self.source,
             compute_reports=False,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            record_sink=self.record_sink,
             seed=self.seed,
             rng_label=self.rng_label,
             **kwargs,
@@ -85,11 +95,11 @@ class RandomSearch(_BaseSearch):
     source = "random"
     rng_label = "random-search"
 
-    def run(self, budget: int) -> HyperMapperResult:
+    def run(self, budget: int, *, resume_from: Optional[str] = None) -> HyperMapperResult:
         """Evaluate ``budget`` distinct uniformly random configurations."""
         if budget < 1:
             raise ValueError("budget must be >= 1")
-        return self._driver(n_random_samples=budget).run()
+        return self._driver(n_random_samples=budget).run(resume_from=resume_from)
 
 
 class GridSearch(_BaseSearch):
@@ -110,7 +120,7 @@ class GridSearch(_BaseSearch):
         super().__init__(space, objectives, evaluator, seed, **kwargs)
         self.levels = levels
 
-    def run(self, budget: Optional[int] = None) -> HyperMapperResult:
+    def run(self, budget: Optional[int] = None, *, resume_from: Optional[str] = None) -> HyperMapperResult:
         """Evaluate the coarse grid (optionally randomly capped at ``budget``)."""
         sampler = GridSampler(self.space, levels=self.levels)
         grid = sampler.full_grid()
@@ -118,13 +128,25 @@ class GridSearch(_BaseSearch):
             rng = as_generator(derive_seed(self.seed, "grid-search"))
             idx = rng.choice(len(grid), size=budget, replace=False)
             grid = [grid[int(i)] for i in idx]
-        return self._driver(initial_configs=grid).run()
+        return self._driver(initial_configs=grid).run(resume_from=resume_from)
+
+
+def _record_indexer(state: SearchState) -> Dict[int, int]:
+    """``id(record) -> history index`` map for strategy-state serialization.
+
+    Every record a baseline strategy holds on to is an object the shared
+    history also holds (bootstrap records and ``observe``-d batch records),
+    and history order is stable across checkpoint/restore — so a history
+    index is a durable name for a record.
+    """
+    return {id(r): i for i, r in enumerate(state.history.records)}
 
 
 class _LocalSearchStrategy(AcquisitionStrategy):
     """Hill-climbing state machine: one neighbor batch per driver iteration."""
 
     source = "local"
+    supports_checkpoint = True
 
     def __init__(self, weights: np.ndarray, budget: int) -> None:
         self.weights = weights
@@ -139,13 +161,37 @@ class _LocalSearchStrategy(AcquisitionStrategy):
 
     def reset(self, state: SearchState) -> None:
         # Bootstrap records are the restart points; their objective spread
-        # establishes the scalarization scales.
+        # establishes the scalarization scales.  On resume the scale and the
+        # climb state are overwritten by ``load_state_dict`` (the restored
+        # history is longer than the bootstrap the original run scaled by).
+        self._engine_state = state
         values = state.history.objective_matrix(canonical=True)
         self._scale = np.maximum(np.abs(values).max(axis=0), 1e-12)
         self._queue: List[EvaluationRecord] = list(state.history.records)
         self._current: Optional[EvaluationRecord] = None
         self._current_score = float("inf")
         self._improved = False
+
+    def state_dict(self) -> Dict[str, object]:
+        idx = _record_indexer(self._engine_state)
+        return {
+            "scale": [float(x) for x in self._scale],
+            "queue": [idx[id(r)] for r in self._queue],
+            "current": None if self._current is None else idx[id(self._current)],
+            "current_score": self._current_score,
+            "improved": self._improved,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if not state:
+            return
+        records = self._engine_state.history.records
+        self._scale = np.asarray(state["scale"], dtype=np.float64)
+        self._queue = [records[int(i)] for i in state["queue"]]
+        current = state["current"]
+        self._current = None if current is None else records[int(current)]
+        self._current_score = float(state["current_score"])
+        self._improved = bool(state["improved"])
 
     def propose(self, state: SearchState) -> Optional[Proposal]:
         while True:
@@ -205,27 +251,53 @@ class LocalSearch(_BaseSearch):
         self.weights = np.asarray(weights, dtype=np.float64)
         self.n_restarts = int(n_restarts)
 
-    def run(self, budget: int) -> HyperMapperResult:
+    def run(
+        self,
+        budget: int,
+        *,
+        resume_from: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+    ) -> HyperMapperResult:
         """Hill-climb within an evaluation ``budget`` split across restarts."""
         if budget < self.n_restarts:
             raise ValueError("budget must be at least n_restarts")
         strategy = _LocalSearchStrategy(self.weights, budget)
-        return self._driver(strategy, n_random_samples=self.n_restarts).run()
+        return self._driver(
+            strategy, n_random_samples=self.n_restarts, max_iterations=max_iterations
+        ).run(resume_from=resume_from)
 
 
 class _EvolutionaryStrategy(AcquisitionStrategy):
     """NSGA-II generation loop as a driver strategy."""
 
     source = "evolutionary"
+    supports_checkpoint = True
 
     def __init__(self, search: "EvolutionarySearch", budget: int) -> None:
         self.search = search
         self.budget = int(budget)
 
     def reset(self, state: SearchState) -> None:
+        self._engine_state = state
         self._records: List[EvaluationRecord] = list(state.history.records)
         self._used = len(self._records)
         self._generation = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        idx = _record_indexer(self._engine_state)
+        return {
+            "population": [idx[id(r)] for r in self._records],
+            "used": self._used,
+            "generation": self._generation,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if not state:
+            return
+        records = self._engine_state.history.records
+        self._records = [records[int(i)] for i in state["population"]]
+        self._used = int(state["used"])
+        self._generation = int(state["generation"])
 
     def propose(self, state: SearchState) -> Optional[Proposal]:
         if self._used >= self.budget:
@@ -311,7 +383,13 @@ class EvolutionarySearch(_BaseSearch):
                 values[p.name] = p.sample(rng)
         return self.space.configuration(values)
 
-    def run(self, budget: int) -> HyperMapperResult:
+    def run(
+        self,
+        budget: int,
+        *,
+        resume_from: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+    ) -> HyperMapperResult:
         """Evolve a population until the evaluation ``budget`` is used."""
         if budget < 1:
             raise ValueError("budget must be >= 1")
@@ -319,14 +397,17 @@ class EvolutionarySearch(_BaseSearch):
         # rather than erroring out; the run degenerates to random sampling.
         strategy = _EvolutionaryStrategy(self, budget)
         return self._driver(
-            strategy, n_random_samples=min(self.population_size, budget)
-        ).run()
+            strategy,
+            n_random_samples=min(self.population_size, budget),
+            max_iterations=max_iterations,
+        ).run(resume_from=resume_from)
 
 
 class _BanditStrategy(AcquisitionStrategy):
     """UCB1 arm selection + generation as a driver strategy."""
 
     source = "bandit"
+    supports_checkpoint = True
 
     ARMS = ("uniform", "mutate_pareto", "mutate_best")
 
@@ -345,6 +426,25 @@ class _BanditStrategy(AcquisitionStrategy):
         self._iteration = 0
         self._arm = "uniform"
         self._before_front: set = set()
+
+    def state_dict(self) -> Dict[str, object]:
+        # ``_arm``/``_before_front`` carry state only from ``propose`` to the
+        # same iteration's ``observe``; at an iteration boundary (where
+        # checkpoints are written) both are consumed, so they need no entry.
+        return {
+            "plays": dict(self._plays),
+            "rewards": dict(self._rewards),
+            "used": self._used,
+            "iteration": self._iteration,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if not state:
+            return
+        self._plays = {a: int(state["plays"][a]) for a in self.ARMS}
+        self._rewards = {a: float(state["rewards"][a]) for a in self.ARMS}
+        self._used = int(state["used"])
+        self._iteration = int(state["iteration"])
 
     def propose(self, state: SearchState) -> Optional[Proposal]:
         if self._used >= self.budget:
@@ -434,12 +534,100 @@ class BanditSearch(_BaseSearch):
         super().__init__(space, objectives, evaluator, seed, **kwargs)
         self.exploration = float(exploration)
 
-    def run(self, budget: int, batch_size: int = 8) -> HyperMapperResult:
+    def run(
+        self,
+        budget: int,
+        batch_size: int = 8,
+        *,
+        resume_from: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+    ) -> HyperMapperResult:
         """Run the bandit until ``budget`` evaluations are used."""
         if budget < batch_size:
             raise ValueError("budget must be at least batch_size")
         strategy = _BanditStrategy(self, budget, batch_size)
-        return self._driver(strategy, n_random_samples=batch_size).run()
+        return self._driver(
+            strategy, n_random_samples=batch_size, max_iterations=max_iterations
+        ).run(resume_from=resume_from)
+
+
+# ---------------------------------------------------------------------------
+# Scenario plugins: every baseline is a registered search algorithm.
+# ---------------------------------------------------------------------------
+
+
+class _ScenarioBaselineRun:
+    """Adapter giving a baseline search the study-facing ``run`` contract."""
+
+    def __init__(self, search: _BaseSearch, run_kwargs: Dict[str, object]) -> None:
+        self.search = search
+        self.run_kwargs = run_kwargs
+
+    @property
+    def executor(self) -> EvaluationExecutor:
+        return self.search.executor
+
+    def run(self, initial_history=None, resume_from: Optional[str] = None) -> HyperMapperResult:
+        if initial_history is not None:
+            raise ValueError("baseline searches do not support warm-start histories")
+        return self.search.run(resume_from=resume_from, **self.run_kwargs)
+
+
+def _require_budget(spec: Mapping[str, object], algorithm: str) -> int:
+    budget = spec.get("budget")
+    if budget is None:
+        from repro.core.scenario import ScenarioError
+
+        raise ScenarioError("/search/budget", f"required by the {algorithm!r} search algorithm")
+    return int(budget)
+
+
+def _baseline_builder(cls, algorithm: str, ctor_keys: Sequence[str], budget_required: bool = True):
+    def _build(ctx: SearchContext) -> _ScenarioBaselineRun:
+        spec = ctx.spec
+        if ctx.overlap_fraction is not None:
+            from repro.core.scenario import ScenarioError
+
+            raise ScenarioError(
+                "/executor/overlap_fraction",
+                f"not supported by the {algorithm!r} search algorithm",
+            )
+        ctor = {k: spec[k] for k in ctor_keys if k in spec}
+        search = cls(
+            ctx.space,
+            ctx.objectives,
+            ctx.executor,
+            seed=ctx.seed,
+            checkpoint_path=ctx.checkpoint_path,
+            checkpoint_every=ctx.checkpoint_every,
+            record_sink=ctx.record_sink,
+            **ctor,
+        )
+        run_kwargs: Dict[str, object] = {}
+        if budget_required:
+            run_kwargs["budget"] = _require_budget(spec, algorithm)
+        elif spec.get("budget") is not None:
+            run_kwargs["budget"] = int(spec["budget"])
+        if cls is BanditSearch and "batch_size" in spec:
+            run_kwargs["batch_size"] = int(spec["batch_size"])
+        return _ScenarioBaselineRun(search, run_kwargs)
+
+    # Marks this as the unmodified built-in builder: scenario validation
+    # only applies its built-in key/type tables when the registered builder
+    # still carries this marker (a user override relaxes validation to
+    # pass-through).
+    _build.builtin_search_name = algorithm
+    return _build
+
+
+register_search("random", _baseline_builder(RandomSearch, "random", ()))
+register_search("grid", _baseline_builder(GridSearch, "grid", ("levels",), budget_required=False))
+register_search("local", _baseline_builder(LocalSearch, "local", ("weights", "n_restarts")))
+register_search(
+    "evolutionary",
+    _baseline_builder(EvolutionarySearch, "evolutionary", ("population_size", "mutation_rate")),
+)
+register_search("bandit", _baseline_builder(BanditSearch, "bandit", ("exploration",)))
 
 
 __all__ = ["RandomSearch", "GridSearch", "LocalSearch", "EvolutionarySearch", "BanditSearch"]

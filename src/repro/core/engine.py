@@ -257,6 +257,7 @@ class SearchDriver:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
         compute_reports: bool = True,
+        record_sink: Optional[Callable[[EvaluationRecord], None]] = None,
         seed: RandomState = None,
         rng_label: str = "search",
     ) -> None:
@@ -287,6 +288,10 @@ class SearchDriver:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = max(int(checkpoint_every), 1)
         self.compute_reports = bool(compute_reports)
+        #: Called with every record this run appends to its history (streamed
+        #: persistence, e.g. a study's ``history.jsonl``).  Restored
+        #: checkpoint records and warm-start histories are *not* re-emitted.
+        self.record_sink = record_sink
         self.seed = seed
         self.rng_label = rng_label
         # Checkpoint-compatibility fingerprint.  Only deterministic seed
@@ -342,7 +347,7 @@ class SearchDriver:
             futures, accepted = self.executor.submit(boot_configs)
             metrics = self.executor.gather(futures)
             for c, m in zip(boot_configs[:accepted], metrics):
-                history.add(c, m, source=self.bootstrap_source, iteration=0)
+                self._emit(history.add(c, m, source=self.bootstrap_source, iteration=0))
             budget_stop = accepted < len(boot_configs)
 
         # --- Phase 2: configuration pool ----------------------------------------
@@ -435,6 +440,7 @@ class SearchDriver:
             for c, m in zip(configs[:n_wait], results):
                 record = state.history.add(c, m, source=source, iteration=iter_tag)
                 state.register(record)
+                self._emit(record)
                 new_records.append(record)
             for f, c in zip(futures[n_wait:accepted], configs[n_wait:accepted]):
                 pending.append(_PendingEvaluation(f, c, source, iter_tag))
@@ -486,9 +492,15 @@ class SearchDriver:
         for p in pending:
             record = state.history.add(p.config, p.future.result(), source=p.source, iteration=p.iteration)
             state.register(record)
+            self._emit(record)
         n_drained = len(pending)
         pending.clear()
         return n_drained
+
+    def _emit(self, record: EvaluationRecord) -> None:
+        """Stream a freshly appended history record to the sink (if any)."""
+        if self.record_sink is not None:
+            self.record_sink(record)
 
     # -- state construction ---------------------------------------------------------
     def _make_state(

@@ -89,6 +89,31 @@ class Parameter(ABC):
             raise ValueError(f"value {value!r} is outside the domain of parameter {self.name!r}")
         return value
 
+    # -- serialization -------------------------------------------------------
+    @abstractmethod
+    def to_dict(self) -> dict:
+        """Plain-dict specification, the exact inverse of :func:`parameter_from_dict`.
+
+        The round trip ``parameter_from_dict(p.to_dict()) == p`` holds for
+        every parameter type; an explicitly provided default is preserved,
+        an implicit (fallback) default stays implicit.
+        """
+
+    def _base_dict(self, kind: str) -> dict:
+        d: dict = {"type": kind, "name": self.name}
+        if self._default is not None:
+            d["default"] = self._default
+        return d
+
+    # -- identity -------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
     # -- misc ----------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"{type(self).__name__}(name={self.name!r})"
@@ -160,6 +185,11 @@ class OrdinalParameter(Parameter):
                 return i
         raise ValueError(f"value {value!r} not in ordinal parameter {self.name!r}")
 
+    def to_dict(self) -> dict:
+        d = self._base_dict("ordinal")
+        d["values"] = list(self._values)
+        return d
+
 
 class IntegerParameter(Parameter):
     """An integer parameter in an inclusive range ``[lower, upper]``."""
@@ -202,6 +232,12 @@ class IntegerParameter(Parameter):
 
     def from_numeric(self, x: float) -> int:
         return int(min(max(round(x), self.lower), self.upper))
+
+    def to_dict(self) -> dict:
+        d = self._base_dict("integer")
+        d["lower"] = self.lower
+        d["upper"] = self.upper
+        return d
 
 
 class RealParameter(Parameter):
@@ -274,6 +310,16 @@ class RealParameter(Parameter):
     def from_numeric(self, x: float) -> float:
         return float(min(max(x, self.lower), self.upper))
 
+    def to_dict(self) -> dict:
+        d = self._base_dict("real")
+        d["lower"] = self.lower
+        d["upper"] = self.upper
+        if self.log_scale:
+            d["log_scale"] = True
+        if self.grid_points != 16:
+            d["grid_points"] = self.grid_points
+        return d
+
 
 class CategoricalParameter(Parameter):
     """A parameter taking one of an *unordered* set of choices.
@@ -332,6 +378,11 @@ class CategoricalParameter(Parameter):
                 return i
         raise ValueError(f"value {value!r} not a choice of categorical parameter {self.name!r}")
 
+    def to_dict(self) -> dict:
+        d = self._base_dict("categorical")
+        d["choices"] = list(self._choices)
+        return d
+
 
 class BooleanParameter(CategoricalParameter):
     """A boolean flag (ElasticFusion exposes five of these)."""
@@ -349,6 +400,12 @@ class BooleanParameter(CategoricalParameter):
     def is_categorical(self) -> bool:
         # Booleans are safe to treat as ordered 0/1 features for the forest.
         return False
+
+    def to_dict(self) -> dict:
+        # ``default`` is always materialized (the constructor coerces it), so
+        # it is always emitted — unlike the other types, where an implicit
+        # fallback default stays implicit.
+        return {"type": "boolean", "name": self.name, "default": bool(self.default)}
 
 
 def parameter_from_dict(spec: dict) -> Parameter:

@@ -205,6 +205,24 @@ class DesignSpace:
         """Build a space from plain-dict parameter specifications."""
         return cls([parameter_from_dict(s) for s in specs], name=name)
 
+    def to_dicts(self) -> List[dict]:
+        """Parameter specifications, the exact inverse of :meth:`from_specs`.
+
+        ``DesignSpace.from_specs(space.to_dicts(), name=space.name)`` rebuilds
+        an equal space: each entry round-trips through
+        :func:`~repro.core.parameters.parameter_from_dict`.
+        """
+        return [p.to_dict() for p in self._parameters]
+
+    def to_dict(self) -> dict:
+        """JSON-facing space description (``name`` + parameter specs)."""
+        return {"name": self.name, "parameters": self.to_dicts()}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "DesignSpace":
+        """Inverse of :meth:`to_dict`."""
+        return cls.from_specs(d["parameters"], name=d.get("name", "space"))
+
     @property
     def parameters(self) -> List[Parameter]:
         """Parameters in declaration order."""

@@ -1,0 +1,580 @@
+"""The ``Study`` front door: compile a scenario, run it, persist artifacts.
+
+A :class:`Study` turns a validated :class:`~repro.core.scenario.Scenario`
+into the engine stack (:class:`~repro.core.engine.SearchDriver` +
+:class:`~repro.core.executor.EvaluationExecutor`, via the search registry)
+and returns a typed :class:`StudyResult`.  With a ``run_dir`` it persists a
+**versioned run directory**::
+
+    run_dir/
+      scenario.json          # the normalized scenario (exact input)
+      run.json               # run-dir version, status, engine metadata
+      history.jsonl          # one evaluation record per line, streamed
+      pareto.json            # final Pareto front (records)
+      report.json            # summary derived from history.jsonl
+      checkpoints/engine.json  # resumable engine checkpoint
+
+that reloads into a :class:`StudyResult` *without re-running*
+(:meth:`StudyResult.load`), and from which ``Study.resume`` (or ``python -m
+repro resume``) continues a killed run bit-identically.
+
+The persisted ``history.jsonl`` is the single source of truth:
+:meth:`StudyResult.report` derives its summary statistics from the file when
+a run directory exists, never from in-memory duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.engine import ActiveLearningReport, HyperMapperResult
+from repro.core.executor import EvaluationExecutor
+from repro.core.history import EvaluationRecord, History
+from repro.core.objectives import ObjectiveSet
+from repro.core.pareto import hypervolume_2d
+from repro.core.registry import (
+    EVALUATOR_REGISTRY,
+    SEARCH_REGISTRY,
+    EvaluatorBinding,
+    SearchContext,
+    register_evaluator,
+)
+from repro.core.scenario import Scenario, ScenarioError
+from repro.core.space import DesignSpace
+from repro.utils.serialization import to_jsonable
+
+#: Version stamp of the persisted run-directory layout.
+RUN_DIR_VERSION = 1
+
+#: File names inside a run directory.
+SCENARIO_FILE = "scenario.json"
+RUN_FILE = "run.json"
+HISTORY_FILE = "history.jsonl"
+PARETO_FILE = "pareto.json"
+REPORT_FILE = "report.json"
+CHECKPOINT_DIR = "checkpoints"
+CHECKPOINT_FILE = "engine.json"
+
+
+@register_evaluator("function")
+def make_function_evaluator(
+    spec: Mapping[str, Any], *, evaluate: Optional[Callable] = None, **_: Any
+) -> EvaluatorBinding:
+    """The host-injected black box: the scenario stays declarative, the
+    callable is bound at :class:`Study` construction (``Study(scenario,
+    evaluate=fn)``), exactly how HyperMapper's service wraps a client
+    function.  Such scenarios must declare ``space`` and ``objectives``
+    explicitly and cannot be resumed from the CLI (no callable to rebind).
+    """
+    if evaluate is None:
+        raise ScenarioError(
+            "/evaluator/type",
+            "evaluator type 'function' needs a host-provided callable: "
+            "construct the study as Study(scenario, evaluate=fn)",
+        )
+    return EvaluatorBinding(fn=evaluate, info={"type": "function"})
+
+
+class _HistoryWriter:
+    """Append-only JSONL sink for evaluation records (streamed persistence)."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._fh = None
+
+    def open(self, truncate: bool = True) -> "_HistoryWriter":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w" if truncate else "a")
+        return self
+
+    def write(self, record: EvaluationRecord) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(to_jsonable(record.to_dict()), sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def rewrite(self, records: Sequence[EvaluationRecord]) -> None:
+        """Replace the file content with exactly ``records``."""
+        self.close()
+        self.open(truncate=True)
+        for r in records:
+            self.write(r)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _load_history_jsonl(path: Path, objectives: ObjectiveSet, space: Optional[DesignSpace]) -> History:
+    dicts = []
+    if path.exists():
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if line:
+                dicts.append(json.loads(line))
+    return History.from_dicts(objectives, dicts, space=space)
+
+
+@dataclass
+class CompiledStudy:
+    """The concrete engine stack a scenario compiles into."""
+
+    space: DesignSpace
+    objectives: ObjectiveSet
+    executor: EvaluationExecutor
+    search: Any
+    binding: Optional[EvaluatorBinding]
+
+    @property
+    def acquisition_name(self) -> Optional[str]:
+        acquisition = getattr(self.search, "acquisition", None)
+        return type(acquisition).__name__ if acquisition is not None else None
+
+
+def apply_constraints(scenario: Scenario, records: List[EvaluationRecord]) -> List[EvaluationRecord]:
+    """Drop records violating the scenario's declared metric-bound constraints.
+
+    Search-time feasibility is driven by the objectives' ``limit`` fields;
+    the ``constraints`` section additionally filters what is *reported* as
+    the Pareto front (``pareto.json``, ``report.json``, ``StudyResult.pareto``).
+    """
+    constraints = scenario.build_constraints()
+    if len(constraints) == 0:
+        return records
+    return [r for r in records if constraints.is_feasible(r.config, r.metrics)]
+
+
+@dataclass
+class StudyResult:
+    """Typed outcome of a study run (or of loading a persisted run dir)."""
+
+    scenario: Scenario
+    objectives: ObjectiveSet
+    history: History
+    pareto: List[EvaluationRecord]
+    iterations: List[ActiveLearningReport]
+    space: Optional[DesignSpace] = None
+    run_dir: Optional[Path] = None
+    engine_info: Dict[str, Any] = field(default_factory=dict)
+
+    # -- analysis (mirrors HyperMapperResult) ---------------------------------
+    def pareto_matrix(self) -> np.ndarray:
+        """Objective matrix (natural units) of the final Pareto front."""
+        if not self.pareto:
+            return np.empty((0, len(self.objectives)))
+        return np.array(
+            [r.objective_values(self.objectives) for r in self.pareto], dtype=np.float64
+        )
+
+    def best_by(self, objective_name: str) -> Optional[EvaluationRecord]:
+        """Pareto record optimizing one objective."""
+        if not self.pareto:
+            return None
+        obj = self.objectives[objective_name]
+        return min(self.pareto, key=lambda r: obj.canonical(float(r.metrics[objective_name])))
+
+    def hypervolume(self, reference: Sequence[float]) -> float:
+        """Hypervolume of the final front w.r.t. a reference point (2 objectives)."""
+        front = self.objectives.to_canonical(self.pareto_matrix())
+        ref = self.objectives.to_canonical(np.asarray(reference, dtype=float).reshape(1, -1))[0]
+        return hypervolume_2d(front, ref)
+
+    # -- persistence-backed reporting ----------------------------------------
+    def persisted_history(self) -> History:
+        """The history as persisted in ``history.jsonl`` (single source of truth).
+
+        Falls back to the in-memory history for ephemeral (dir-less) runs.
+        """
+        if self.run_dir is None:
+            return self.history
+        path = Path(self.run_dir) / HISTORY_FILE
+        if not path.exists():  # artifacts moved/deleted after the run
+            return self.history
+        return _load_history_jsonl(path, self.objectives, self.space)
+
+    def report(self) -> Dict[str, Any]:
+        """Summary statistics derived from the persisted history."""
+        history = self.persisted_history()
+        pareto = apply_constraints(self.scenario, history.pareto_records(feasible_only=True))
+        summary = history.summary()
+        # summary() counts the unconstrained front; the report reflects the
+        # constraint-filtered one.
+        summary["n_pareto"] = len(pareto)
+        best: Dict[str, Any] = {}
+        for objective in self.objectives:
+            record = None
+            if pareto:
+                record = min(
+                    pareto, key=lambda r: objective.canonical(float(r.metrics[objective.name]))
+                )
+            best[objective.name] = (
+                None
+                if record is None
+                else {"config": dict(record.config), "metrics": dict(record.metrics)}
+            )
+        return {
+            "run_dir_version": RUN_DIR_VERSION,
+            "scenario": self.scenario.name,
+            "algorithm": self.scenario.search_spec["algorithm"],
+            **summary,
+            "n_iterations": len(self.iterations),
+            "best": best,
+            "iterations": [r.to_dict() for r in self.iterations],
+            "engine": dict(self.engine_info),
+        }
+
+    # -- loading --------------------------------------------------------------
+    @classmethod
+    def load(cls, run_dir: Union[str, Path]) -> "StudyResult":
+        """Reload a persisted run directory without re-running anything."""
+        run_dir = Path(run_dir)
+        scenario_path = run_dir / SCENARIO_FILE
+        if not scenario_path.exists():
+            raise FileNotFoundError(f"{run_dir} is not a study run directory (no {SCENARIO_FILE})")
+        run_meta: Dict[str, Any] = {}
+        run_path = run_dir / RUN_FILE
+        if run_path.exists():
+            run_meta = json.loads(run_path.read_text())
+            version = int(run_meta.get("run_dir_version", -1))
+            if version != RUN_DIR_VERSION:
+                raise ValueError(
+                    f"unsupported run-dir version {version} in {run_dir} "
+                    f"(this build understands {RUN_DIR_VERSION})"
+                )
+        scenario = Scenario.from_file(scenario_path)
+        space, objectives = resolve_problem(scenario)
+        history = _load_history_jsonl(run_dir / HISTORY_FILE, objectives, space)
+        iterations: List[ActiveLearningReport] = []
+        engine_info: Dict[str, Any] = dict(run_meta.get("engine", {}))
+        report_path = run_dir / REPORT_FILE
+        if report_path.exists():
+            report = json.loads(report_path.read_text())
+            iterations = [ActiveLearningReport.from_dict(d) for d in report.get("iterations", [])]
+            engine_info = dict(report.get("engine", engine_info))
+        return cls(
+            scenario=scenario,
+            objectives=objectives,
+            history=history,
+            pareto=apply_constraints(scenario, history.pareto_records(feasible_only=True)),
+            iterations=iterations,
+            space=space,
+            run_dir=run_dir,
+            engine_info=engine_info,
+        )
+
+
+def resolve_problem(scenario: Scenario) -> tuple:
+    """``(space, objectives)`` of a scenario without building its evaluator.
+
+    Explicit declarations win; otherwise the evaluator factory's cheap
+    ``resolve_problem`` hook supplies them (e.g. the slambench workload's
+    space/objectives — no runner or dataset is constructed).
+    """
+    space = scenario.build_space()
+    objectives = scenario.build_objectives()
+    if space is None or objectives is None:
+        spec = scenario.evaluator_spec
+        factory = EVALUATOR_REGISTRY.get(spec["type"])
+        hook = getattr(factory, "resolve_problem", None)
+        if hook is not None:
+            fallback_space, fallback_objectives = hook(spec)
+            space = space if space is not None else fallback_space
+            objectives = objectives if objectives is not None else fallback_objectives
+    if objectives is None:
+        raise ScenarioError("/objectives", "cannot be resolved: none declared or supplied")
+    if space is None:
+        raise ScenarioError("/space", "cannot be resolved: none declared or supplied")
+    return space, objectives
+
+
+class Study:
+    """A scenario bound to its host-side objects, ready to run.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`Scenario`, a raw mapping, or a path to a ``.json``/``.toml``
+        scenario file.
+    evaluate:
+        The black-box callable for ``{"type": "function"}`` evaluators.
+    runner:
+        A pre-built :class:`~repro.slambench.runner.SlamBenchRunner` injected
+        into the ``slambench`` evaluator so several studies share one
+        simulation cache (accuracy is device-independent).
+    executor:
+        A pre-built :class:`~repro.core.executor.EvaluationExecutor` shared
+        across studies (its memoized evaluations short-circuit duplicated
+        bootstraps); overrides the scenario's ``executor``/``budget`` wiring.
+    """
+
+    def __init__(
+        self,
+        scenario: Union[Scenario, Mapping[str, Any], str, Path],
+        *,
+        evaluate: Optional[Callable] = None,
+        runner: Optional[Any] = None,
+        executor: Optional[EvaluationExecutor] = None,
+    ) -> None:
+        self.scenario = Scenario.coerce(scenario)
+        self._evaluate = evaluate
+        self._runner = runner
+        self._executor = executor
+
+    # -- compilation ----------------------------------------------------------
+    def compile(
+        self,
+        checkpoint_path: Optional[str] = None,
+        record_sink: Optional[Callable[[EvaluationRecord], None]] = None,
+    ) -> CompiledStudy:
+        """Resolve every plugin and build the engine stack (no run)."""
+        scenario = self.scenario
+        evaluator_spec = scenario.evaluator_spec
+        factory = EVALUATOR_REGISTRY.get(evaluator_spec["type"])
+        binding: Optional[EvaluatorBinding] = None
+        space = scenario.build_space()
+        objectives = scenario.build_objectives()
+        if self._executor is None:
+            binding = factory(evaluator_spec, evaluate=self._evaluate, runner=self._runner)
+            space = space if space is not None else binding.space
+            objectives = objectives if objectives is not None else binding.objectives
+        elif space is None or objectives is None:
+            # Only the problem definition is needed (the injected executor
+            # already wraps the black box): prefer the factory's cheap
+            # resolve_problem hook over building a full evaluator binding.
+            hook = getattr(factory, "resolve_problem", None)
+            if hook is not None:
+                fallback_space, fallback_objectives = hook(evaluator_spec)
+            else:
+                binding = factory(evaluator_spec, evaluate=self._evaluate, runner=self._runner)
+                fallback_space, fallback_objectives = binding.space, binding.objectives
+            space = space if space is not None else fallback_space
+            objectives = objectives if objectives is not None else fallback_objectives
+        if space is None:
+            raise ScenarioError("/space", "cannot be resolved: none declared or supplied")
+        if objectives is None:
+            raise ScenarioError("/objectives", "cannot be resolved: none declared or supplied")
+
+        executor_spec = scenario.executor_spec
+        if self._executor is not None:
+            executor = self._executor
+        else:
+            assert binding is not None
+            executor = EvaluationExecutor(
+                binding.fn,
+                objectives,
+                n_workers=executor_spec["n_workers"],
+                backend=executor_spec["backend"],
+                max_evaluations=scenario.budget_spec["max_evaluations"],
+            )
+
+        search_spec = scenario.search_spec
+        builder = SEARCH_REGISTRY.get(search_spec["algorithm"])
+        ctx = SearchContext(
+            space=space,
+            objectives=objectives,
+            executor=executor,
+            spec=search_spec,
+            seed=scenario.seed,
+            overlap_fraction=executor_spec["overlap_fraction"],
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=scenario.checkpoint_spec["every"],
+            record_sink=record_sink,
+        )
+        return CompiledStudy(
+            space=space,
+            objectives=objectives,
+            executor=executor,
+            search=builder(ctx),
+            binding=binding,
+        )
+
+    # -- execution ------------------------------------------------------------
+    def run(
+        self,
+        run_dir: Optional[Union[str, Path]] = None,
+        *,
+        resume_from: Optional[str] = None,
+        initial_history: Optional[History] = None,
+        checkpoint_path: Optional[str] = None,
+    ) -> StudyResult:
+        """Execute the study, persisting a run directory when ``run_dir`` is set.
+
+        ``resume_from`` continues from an engine checkpoint file
+        (:meth:`Study.resume` derives it from the run directory);
+        ``checkpoint_path`` overrides the default
+        ``<run_dir>/checkpoints/engine.json`` location for dir-less runs.
+        """
+        run_path = Path(run_dir) if run_dir is not None else None
+        writer: Optional[_HistoryWriter] = None
+        if run_path is not None:
+            run_path.mkdir(parents=True, exist_ok=True)
+            (run_path / CHECKPOINT_DIR).mkdir(exist_ok=True)
+            self.scenario.save(run_path / SCENARIO_FILE)
+            if checkpoint_path is None:
+                checkpoint_path = str(run_path / CHECKPOINT_DIR / CHECKPOINT_FILE)
+            # A resumed run streams to a side file and only replaces
+            # history.jsonl on successful completion (_finalize_run_dir), so
+            # a resume that fails — corrupt checkpoint, incompatible seed —
+            # cannot destroy the previously persisted history.
+            stream_name = HISTORY_FILE if resume_from is None else HISTORY_FILE + ".resume-tmp"
+            writer = _HistoryWriter(run_path / stream_name)
+
+        # Compile before touching history.jsonl: a failing compile (unknown
+        # plugin, missing host callable, ...) must not destroy the persisted
+        # history of an existing run directory.  Records only flow through
+        # the sink during search.run, after the writer is opened below.
+        compiled = self.compile(
+            checkpoint_path=checkpoint_path,
+            record_sink=writer.write if writer is not None else None,
+        )
+        if writer is not None:
+            assert run_path is not None
+            self._write_run_meta(run_path, status="running")
+            if resume_from is None:
+                # A fresh run into an existing directory must not leave a
+                # prior run's artifacts around to be mixed with the new
+                # (possibly partial) history if this run is interrupted.
+                for stale in (PARETO_FILE, REPORT_FILE):
+                    (run_path / stale).unlink(missing_ok=True)
+                (run_path / CHECKPOINT_DIR / CHECKPOINT_FILE).unlink(missing_ok=True)
+            writer.open(truncate=True)
+            if resume_from is not None:
+                # Re-seed the stream with the checkpoint's history so the
+                # file stays coherent while the resumed run appends.
+                self._preseed_history(writer, resume_from)
+            elif initial_history is not None:
+                for record in initial_history.records:
+                    writer.write(record)
+        n_evals_before = compiled.executor.n_evaluations
+        try:
+            engine_result: HyperMapperResult = compiled.search.run(
+                initial_history=initial_history, resume_from=resume_from
+            )
+        except BaseException:
+            if run_path is not None:
+                self._write_run_meta(run_path, status="failed")
+            raise
+        finally:
+            if writer is not None:
+                writer.close()
+
+        # Executor shape is reported from the executor that actually ran
+        # (an injected one may differ from the scenario's executor section).
+        engine_info = {
+            "algorithm": self.scenario.search_spec["algorithm"],
+            "acquisition": compiled.acquisition_name,
+            "n_workers": compiled.executor.n_workers,
+            "backend": compiled.executor.backend,
+            "overlap_fraction": self.scenario.executor_spec["overlap_fraction"],
+            # The delta, not the counter: a shared (injected) executor's
+            # counter spans every study that ran on it.
+            "n_black_box_evaluations": compiled.executor.n_evaluations - n_evals_before,
+        }
+        result = StudyResult(
+            scenario=self.scenario,
+            objectives=compiled.objectives,
+            history=engine_result.history,
+            pareto=apply_constraints(self.scenario, engine_result.pareto),
+            iterations=engine_result.iterations,
+            space=compiled.space,
+            run_dir=run_path,
+            engine_info=engine_info,
+        )
+        if run_path is not None:
+            self._finalize_run_dir(run_path, result)
+        return result
+
+    @classmethod
+    def resume(
+        cls,
+        run_dir: Union[str, Path],
+        *,
+        evaluate: Optional[Callable] = None,
+        runner: Optional[Any] = None,
+        executor: Optional[EvaluationExecutor] = None,
+    ) -> StudyResult:
+        """Continue a persisted run from its engine checkpoint.
+
+        A run directory whose checkpoint is already terminal simply replays
+        to the identical result; a directory without a checkpoint (killed
+        before the bootstrap finished) starts the scenario from scratch.
+        """
+        run_path = Path(run_dir)
+        scenario_path = run_path / SCENARIO_FILE
+        if not scenario_path.exists():
+            raise FileNotFoundError(f"{run_dir} is not a study run directory (no {SCENARIO_FILE})")
+        study = cls(
+            Scenario.from_file(scenario_path), evaluate=evaluate, runner=runner, executor=executor
+        )
+        checkpoint = run_path / CHECKPOINT_DIR / CHECKPOINT_FILE
+        resume_from = str(checkpoint) if checkpoint.exists() else None
+        return study.run(run_dir=run_path, resume_from=resume_from)
+
+    # -- run-dir plumbing ------------------------------------------------------
+    def _write_run_meta(self, run_path: Path, status: str, engine: Optional[Dict] = None) -> None:
+        meta = {
+            "run_dir_version": RUN_DIR_VERSION,
+            "scenario": self.scenario.name,
+            "schema_version": self.scenario.schema_version,
+            "status": status,
+        }
+        if engine is not None:
+            meta["engine"] = engine
+        (run_path / RUN_FILE).write_text(json.dumps(to_jsonable(meta), indent=2, sort_keys=True))
+
+    def _preseed_history(self, writer: _HistoryWriter, checkpoint_path: str) -> None:
+        try:
+            payload = json.loads(Path(checkpoint_path).read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        for d in payload.get("history", []):
+            writer.write(
+                EvaluationRecord(
+                    config=_raw_config(d["config"]),
+                    metrics={str(k): float(v) for k, v in d["metrics"].items()},
+                    source=str(d.get("source", "random")),
+                    iteration=int(d.get("iteration", 0)),
+                )
+            )
+
+    def _finalize_run_dir(self, run_path: Path, result: StudyResult) -> None:
+        # The stream already holds every record; rewrite defensively so the
+        # file is exactly the final in-memory history (warm starts, resumes
+        # and overlap drains included, in history order).
+        writer = _HistoryWriter(run_path / HISTORY_FILE)
+        writer.rewrite(result.history.records)
+        writer.close()
+        tmp = run_path / (HISTORY_FILE + ".resume-tmp")
+        if tmp.exists():
+            tmp.unlink()
+        pareto = [r.to_dict() for r in result.pareto]
+        (run_path / PARETO_FILE).write_text(
+            json.dumps(to_jsonable(pareto), indent=2, sort_keys=True)
+        )
+        report = result.report()
+        (run_path / REPORT_FILE).write_text(
+            json.dumps(to_jsonable(report), indent=2, sort_keys=True)
+        )
+        self._write_run_meta(run_path, status="complete", engine=result.engine_info)
+
+
+def _raw_config(d: Mapping[str, Any]):
+    from repro.core.space import Configuration
+
+    return Configuration.from_dict(dict(d))
+
+
+__all__ = [
+    "RUN_DIR_VERSION",
+    "CompiledStudy",
+    "StudyResult",
+    "Study",
+    "resolve_problem",
+    "apply_constraints",
+    "make_function_evaluator",
+]

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.crowd.database import CrowdDatabase, CrowdRecord
 from repro.devices.model import DeviceModel
@@ -149,4 +150,26 @@ def run_crowd_experiment(
     return runs
 
 
-__all__ = ["CrowdAppRun", "run_crowd_experiment"]
+def tuned_config_from_run(
+    run_dir: Union[str, Path], objective: str = "runtime_s"
+) -> Dict[str, object]:
+    """The crowd app's tuned configuration, read from a persisted study run.
+
+    The fleet consumes the versioned run-directory artifact a Fig. 3 study
+    writes (``python -m repro run`` / :meth:`repro.core.study.Study.run`)
+    instead of a hand-wired optimizer result: the Pareto record optimizing
+    ``objective`` (per-frame runtime by default) becomes the configuration
+    every device benchmarks against the default.
+    """
+    from repro.core.study import StudyResult
+
+    result = StudyResult.load(run_dir)
+    best = result.best_by(objective)
+    if best is None:
+        raise RuntimeError(
+            f"study run {run_dir!s} has no feasible Pareto point to deploy to the fleet"
+        )
+    return dict(best.config)
+
+
+__all__ = ["CrowdAppRun", "run_crowd_experiment", "tuned_config_from_run"]

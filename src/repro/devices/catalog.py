@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.core.registry import DEVICE_REGISTRY, UnknownPluginError, register_device
 from repro.devices.model import DeviceModel
 
 #: Hardkernel ODROID-XU3: Samsung Exynos 5422, ARM Mali-T628 MP6 GPU (the
@@ -57,25 +58,32 @@ NVIDIA_QUADRO_DESKTOP = DeviceModel(
     category="desktop",
 )
 
+#: The catalog is the device registry: scenarios name devices by these keys,
+#: and third-party hardware models join via ``register_device``.
 _CATALOG: Dict[str, DeviceModel] = {
     "odroid-xu3": ODROID_XU3,
     "asus-t200ta": ASUS_T200TA,
     "gtx-780ti": NVIDIA_GTX_780TI,
     "quadro": NVIDIA_QUADRO_DESKTOP,
 }
+for _key, _device in _CATALOG.items():
+    register_device(_key, _device)
 
 
 def get_device(key: str) -> DeviceModel:
-    """Look up a catalog device by its short key (case-insensitive)."""
+    """Look up a registered device by its short key (case-insensitive)."""
     normalized = key.strip().lower()
-    if normalized not in _CATALOG:
-        raise KeyError(f"unknown device {key!r}; available: {sorted(_CATALOG)}")
-    return _CATALOG[normalized]
+    try:
+        return DEVICE_REGISTRY.get(normalized)
+    except UnknownPluginError:
+        raise KeyError(
+            f"unknown device {key!r}; available: {DEVICE_REGISTRY.names()}"
+        ) from None
 
 
 def list_devices() -> List[str]:
-    """Short keys of all catalog devices."""
-    return sorted(_CATALOG)
+    """Short keys of all registered devices."""
+    return DEVICE_REGISTRY.names()
 
 
 __all__ = [

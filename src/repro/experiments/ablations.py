@@ -9,6 +9,13 @@ Two ablations referenced in DESIGN.md:
 * **Forest-size sensitivity** — how the number of trees in the per-objective
   forests affects the quality of the predicted Pareto front (surrogate
   out-of-bag error and final hypervolume).
+
+Every run is a declarative scenario executed through
+:class:`~repro.core.study.Study`; the strategies differ only in their
+``search`` section (algorithm / acquisition / surrogate), and all of them
+share one injected :class:`~repro.core.executor.EvaluationExecutor` so
+duplicated bootstrap evaluations are served from the memoized results
+instead of re-running the black box.
 """
 
 from __future__ import annotations
@@ -17,14 +24,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.baselines import BanditSearch, EvolutionarySearch, RandomSearch
 from repro.core.executor import EvaluationExecutor
 from repro.core.optimizer import HyperMapper
 from repro.core.pareto import hypervolume_2d
+from repro.core.study import Study
 from repro.devices.catalog import ODROID_XU3
 from repro.experiments.common import SMALL, ExperimentScale, make_runner
-from repro.slambench.parameters import kfusion_design_space, kfusion_objectives
 from repro.slambench.runner import SlamBenchRunner
+from repro.slambench.workloads import get_workload
 from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
 
@@ -34,6 +41,37 @@ def _hypervolume(history, objectives, reference) -> float:
     if front.shape[0] == 0:
         return 0.0
     return hypervolume_2d(objectives.to_canonical(front), reference)
+
+
+def _kfusion_problem_sections() -> Dict[str, object]:
+    """Explicit ``space``/``objectives`` sections for the KFusion problem.
+
+    Declaring the problem explicitly (rather than letting the ``slambench``
+    evaluator supply it) lets every ablation scenario share one injected
+    executor without rebuilding runners; both sections are derived from the
+    workload so there is exactly one source of truth.
+    """
+    workload = get_workload("kfusion")
+    return {
+        "space": workload.space().to_dict(),
+        "objectives": [
+            {"name": o.name, "minimize": o.minimize, "unit": o.unit, "limit": o.limit}
+            for o in workload.objectives()
+        ],
+    }
+
+
+def _ablation_scenario(
+    name: str, search: Dict[str, object], seed: int, problem: Dict[str, object]
+) -> Dict[str, object]:
+    return {
+        "schema_version": 1,
+        "name": name,
+        "evaluator": {"type": "function"},
+        "search": search,
+        "seed": seed,
+        **problem,
+    }
 
 
 def run_search_strategy_ablation(
@@ -48,12 +86,14 @@ def run_search_strategy_ablation(
     Besides the classic baselines, the ablation also sweeps the engine's
     pluggable acquisition strategies (uncertainty-weighted LCB and
     epsilon-greedy exploration) against the paper's predicted-Pareto
-    default — same driver, same executor, different proposal policy.
+    default — same driver, same shared executor, different ``search``
+    section in the scenario.
     """
     runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
-    space = kfusion_design_space()
-    objectives = kfusion_objectives()
+    workload = get_workload("kfusion")
+    objectives = workload.objectives()
     device = ODROID_XU3
+    problem = _kfusion_problem_sections()
     # One shared executor across every search: the acquisition variants run
     # the identical seeded bootstrap, so their duplicated evaluations are
     # served from the memoized results instead of re-running the black box.
@@ -74,43 +114,41 @@ def run_search_strategy_ablation(
             "hypervolume": _hypervolume(res.history, objectives, reference),
         }
 
-    hm_kwargs = dict(
-        n_random_samples=max(budget // 2, 4),
-        max_iterations=scale.max_iterations,
-        pool_size=scale.pool_size,
-        max_samples_per_iteration=max(budget // (2 * max(scale.max_iterations, 1)), 2),
-    )
-    hm = HyperMapper(
-        space,
-        objectives,
-        evaluate,
-        seed=derive_seed(seed, "ablation", "hypermapper"),
-        **hm_kwargs,
-    )
-    results.append(_row("hypermapper", hm.run()))
-
+    hm_search = {
+        "algorithm": "hypermapper",
+        "n_random_samples": max(budget // 2, 4),
+        "max_iterations": scale.max_iterations,
+        "pool_size": scale.pool_size,
+        "max_samples_per_iteration": max(budget // (2 * max(scale.max_iterations, 1)), 2),
+    }
+    hm_seed = derive_seed(seed, "ablation", "hypermapper")
+    variants: List[Dict[str, object]] = [dict(hm_search)]
+    labels = ["hypermapper"]
     if include_acquisition_variants:
         for label, acquisition in (
             ("hypermapper_ucb", "uncertainty_weighted"),
             ("hypermapper_eps", "epsilon_greedy"),
         ):
-            variant = HyperMapper(
-                space,
-                objectives,
-                evaluate,
-                seed=derive_seed(seed, "ablation", "hypermapper"),
-                acquisition=acquisition,
-                **hm_kwargs,
-            )
-            results.append(_row(label, variant.run()))
+            variants.append(dict(hm_search, acquisition=acquisition))
+            labels.append(label)
+    for label, search in zip(labels, variants):
+        study = Study(
+            _ablation_scenario(f"ablation-{label}", search, hm_seed, problem),
+            executor=evaluate,
+        )
+        results.append(_row(label, study.run()))
 
-    searches = {
-        "random": RandomSearch(space, objectives, evaluate, seed=derive_seed(seed, "ablation", "random")),
-        "evolutionary": EvolutionarySearch(space, objectives, evaluate, seed=derive_seed(seed, "ablation", "evolutionary")),
-        "bandit": BanditSearch(space, objectives, evaluate, seed=derive_seed(seed, "ablation", "bandit")),
-    }
-    for name, search in searches.items():
-        results.append(_row(name, search.run(budget)))
+    for name in ("random", "evolutionary", "bandit"):
+        study = Study(
+            _ablation_scenario(
+                f"ablation-{name}",
+                {"algorithm": name, "budget": budget},
+                derive_seed(seed, "ablation", name),
+                problem,
+            ),
+            executor=evaluate,
+        )
+        results.append(_row(name, study.run()))
 
     baselines = [r for r in results if not str(r["strategy"]).startswith("hypermapper")]
     return {
@@ -133,9 +171,10 @@ def run_forest_size_ablation(
 ) -> Dict[str, object]:
     """Sensitivity of the exploration outcome to the number of trees."""
     runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
-    space = kfusion_design_space()
-    objectives = kfusion_objectives()
+    workload = get_workload("kfusion")
+    objectives = workload.objectives()
     device = ODROID_XU3
+    problem = _kfusion_problem_sections()
     # Shared executor: every forest size warm-starts from the same bootstrap,
     # so repeated configurations are memoized across runs.
     evaluate = EvaluationExecutor(runner.evaluation_function(device), objectives)
@@ -144,14 +183,23 @@ def run_forest_size_ablation(
 
     # The bootstrap random-sampling phase is identical for every forest size,
     # so it is evaluated once and shared as a warm start.
-    shared_random = RandomSearch(space, objectives, evaluate, seed=derive_seed(seed, "forest-size", "bootstrap")).run(
-        scale.n_random_samples
-    )
+    shared_random = Study(
+        _ablation_scenario(
+            "ablation-forest-bootstrap",
+            {"algorithm": "random", "budget": scale.n_random_samples},
+            derive_seed(seed, "forest-size", "bootstrap"),
+            problem,
+        ),
+        executor=evaluate,
+    ).run()
 
     rows = []
     for n_trees in forest_sizes:
+        # The warm-start history is an in-memory object, so this run goes
+        # through the HyperMapper facade directly — the scenario-equivalent
+        # search section is what `Study` would compile to.
         hm = HyperMapper(
-            space,
+            workload.space(),
             objectives,
             evaluate,
             n_random_samples=scale.n_random_samples,

@@ -15,11 +15,11 @@ exposes the same experiments at several scales:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
-from repro.core.executor import EvaluationExecutor
-from repro.core.objectives import ObjectiveSet
+from repro.core.study import StudyResult
 from repro.slambench.runner import SlamBenchRunner
+from repro.slambench.workloads import get_workload
 
 
 @dataclass(frozen=True)
@@ -65,20 +65,6 @@ class ExperimentScale:
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         """A copy with some fields replaced."""
         return replace(self, **kwargs)
-
-
-def make_executor(
-    fn: Callable,
-    objectives: ObjectiveSet,
-    scale: ExperimentScale,
-    n_workers: Optional[int] = None,
-    max_evaluations: Optional[int] = None,
-) -> EvaluationExecutor:
-    """Build the experiment's evaluation executor from the scale's knobs."""
-    workers = scale.n_eval_workers if n_workers is None else int(n_workers)
-    return EvaluationExecutor(
-        fn, objectives, n_workers=workers, max_evaluations=max_evaluations
-    )
 
 
 SMOKE = ExperimentScale(
@@ -131,21 +117,86 @@ PAPER = ExperimentScale(
 
 
 def make_runner(pipeline: str, scale: ExperimentScale, dataset_seed: int = 1, pipeline_seed: int = 0) -> SlamBenchRunner:
-    """Build a :class:`SlamBenchRunner` matching the experiment scale."""
-    kwargs: Dict[str, object] = {}
-    if pipeline == "elasticfusion":
-        # Fusion stride 2 keeps the surfel map (and the run time of a single
-        # evaluation) manageable at DSE scale without changing the trends.
-        kwargs["elasticfusion_kwargs"] = {"fusion_stride": 2}
-    return SlamBenchRunner(
-        pipeline,
+    """Build a :class:`SlamBenchRunner` matching the experiment scale.
+
+    Resolution goes through the workload registry, so a registered
+    third-party workload name works here exactly like ``"kfusion"`` /
+    ``"elasticfusion"`` (whose defaults include the DSE-scale fusion stride).
+    """
+    return get_workload(pipeline).make_runner(
         n_frames=scale.n_frames,
         width=scale.width,
         height=scale.height,
         dataset_seed=dataset_seed,
         pipeline_seed=pipeline_seed,
-        **kwargs,
     )
 
 
-__all__ = ["ExperimentScale", "SMOKE", "SMALL", "MEDIUM", "PAPER", "make_runner", "make_executor"]
+def slambench_evaluator_spec(
+    workload: str,
+    device: str,
+    scale: ExperimentScale,
+    dataset_seed: int = 1,
+    accuracy_limit_m: Optional[float] = None,
+) -> Dict[str, object]:
+    """The scenario ``evaluator`` section matching an experiment scale."""
+    spec: Dict[str, object] = {
+        "type": "slambench",
+        "workload": workload,
+        "device": device,
+        "n_frames": scale.n_frames,
+        "width": scale.width,
+        "height": scale.height,
+        "dataset_seed": dataset_seed,
+    }
+    if accuracy_limit_m is not None:
+        spec["accuracy_limit_m"] = accuracy_limit_m
+    return spec
+
+
+def executor_spec(
+    scale: ExperimentScale,
+    n_workers: Optional[int] = None,
+    overlap_fraction: Optional[float] = None,
+) -> Dict[str, object]:
+    """The scenario ``executor`` section matching an experiment scale."""
+    workers = scale.n_eval_workers if n_workers is None else int(n_workers)
+    return {"n_workers": workers, "overlap_fraction": overlap_fraction}
+
+
+def history_stats(result: StudyResult) -> Dict[str, object]:
+    """Summary statistics from the run's *persisted* history.
+
+    For studies executed with a run directory the numbers come from
+    ``history.jsonl`` — the single source of truth the report layer also
+    reads — instead of being recomputed from in-memory objects; ephemeral
+    runs fall back to the in-memory history (identical by construction,
+    tested in ``tests/test_study_cli.py``).
+    """
+    history = result.persisted_history()
+    pareto = history.pareto_records(feasible_only=True)
+    random_history = history.filter(source="random")
+    al_history = history.filter(source="active_learning")
+    return {
+        "n_evaluations": len(history),
+        "n_feasible": history.n_feasible(),
+        "n_pareto_points": len(pareto),
+        "n_random_samples": len(random_history),
+        "n_active_learning_samples": len(al_history),
+        "n_valid_random": random_history.n_feasible(),
+        "n_valid_active_learning": al_history.n_feasible(),
+        "n_pareto_points_random_only": len(random_history.pareto_records()),
+    }
+
+
+__all__ = [
+    "ExperimentScale",
+    "SMOKE",
+    "SMALL",
+    "MEDIUM",
+    "PAPER",
+    "make_runner",
+    "slambench_evaluator_spec",
+    "executor_spec",
+    "history_stats",
+]

@@ -17,8 +17,8 @@ import numpy as np
 from repro.devices.catalog import ODROID_XU3
 from repro.devices.model import DeviceModel
 from repro.experiments.common import SMALL, ExperimentScale, make_runner
-from repro.slambench.parameters import kfusion_default_config, kfusion_design_space
 from repro.slambench.runner import SlamBenchRunner
+from repro.slambench.workloads import get_workload
 from repro.utils.tables import format_table
 
 
@@ -44,11 +44,12 @@ def run_fig1(
     Returns a dictionary with the runtime surface (seconds per frame), the
     accuracy surface, the axes, and non-convexity statistics.
     """
+    workload = get_workload("kfusion")
     runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
-    space = kfusion_design_space()
+    space = workload.space()
     mu_values = space["mu"].values()
     icp_values = space["icp_threshold"].values()
-    default = dict(kfusion_default_config())
+    default = dict(workload.default_config())
 
     runtime = np.zeros((len(mu_values), len(icp_values)))
     accuracy = np.zeros_like(runtime)

@@ -9,27 +9,32 @@ headline numbers of Section IV:
 * the default configuration's frame rate (about 6 FPS on the ODROID-XU3),
 * the best-runtime valid configuration and its speedup over the default
   (6.35x in the paper), including a configuration in the real-time range.
+
+The exploration is expressed as a declarative scenario executed through the
+:class:`~repro.core.study.Study` front door — the same wire format the CLI
+(``python -m repro run``) and any remote frontend submit — with a pre-built
+runner injected so consecutive platforms share one simulation cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
-import numpy as np
-
-from repro.core.acquisition import AcquisitionStrategy
 from repro.core.objectives import ObjectiveSet
-from repro.core.optimizer import HyperMapper
+from repro.core.study import Study, StudyResult
 from repro.devices.catalog import get_device
 from repro.devices.model import DeviceModel
-from repro.experiments.common import SMALL, ExperimentScale, make_executor, make_runner
-from repro.slambench.parameters import (
-    ACCURACY_LIMIT_M,
-    kfusion_default_config,
-    kfusion_design_space,
-    kfusion_objectives,
+from repro.experiments.common import (
+    SMALL,
+    ExperimentScale,
+    executor_spec,
+    history_stats,
+    make_runner,
+    slambench_evaluator_spec,
 )
+from repro.slambench.parameters import ACCURACY_LIMIT_M
 from repro.slambench.runner import SlamBenchRunner
+from repro.slambench.workloads import get_workload
 from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
 
@@ -41,59 +46,84 @@ def _front_series(records, objectives: ObjectiveSet) -> List[Dict[str, float]]:
     ]
 
 
+def fig3_scenario(
+    platform: str = "odroid-xu3",
+    scale: ExperimentScale = SMALL,
+    seed: int = 7,
+    accuracy_limit_m: float = ACCURACY_LIMIT_M,
+    acquisition: Union[str, Mapping, None] = None,
+    n_workers: Optional[int] = None,
+    overlap_fraction: Optional[float] = None,
+) -> Dict[str, object]:
+    """The Fig. 3 exploration as a plain scenario dict (JSON-serializable)."""
+    search: Dict[str, object] = {
+        "algorithm": "hypermapper",
+        "n_random_samples": scale.n_random_samples,
+        "max_iterations": scale.max_iterations,
+        "pool_size": scale.pool_size,
+        "max_samples_per_iteration": scale.max_samples_per_iteration,
+    }
+    if acquisition is not None:
+        search["acquisition"] = acquisition
+    return {
+        "schema_version": 1,
+        "name": f"fig3-kfusion-{platform}",
+        "evaluator": slambench_evaluator_spec(
+            "kfusion", platform, scale, dataset_seed=seed, accuracy_limit_m=accuracy_limit_m
+        ),
+        "search": search,
+        "executor": executor_spec(scale, n_workers, overlap_fraction),
+        "seed": derive_seed(seed, "fig3", platform),
+    }
+
+
 def run_fig3(
     platform: str = "odroid-xu3",
     scale: ExperimentScale = SMALL,
     seed: int = 7,
     runner: Optional[SlamBenchRunner] = None,
     accuracy_limit_m: float = ACCURACY_LIMIT_M,
-    acquisition: Union[AcquisitionStrategy, str, None] = None,
+    acquisition: Union[str, Mapping, None] = None,
     n_workers: Optional[int] = None,
     overlap_fraction: Optional[float] = None,
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    run_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the KFusion DSE on one platform and collect the Fig. 3 statistics.
 
     Pass the same ``runner`` to consecutive calls (ODROID then ASUS) to reuse
     the cached pipeline simulations across platforms — accuracy is
-    device-independent, so only the runtime side differs.  The engine knobs
-    (``acquisition``, ``n_workers``, ``overlap_fraction``,
-    ``checkpoint_path``/``resume_from``) plug straight into the search
-    engine; the defaults keep the paper's serial Algorithm 1.
+    device-independent, so only the runtime side differs.  ``acquisition``
+    takes a registered name (or ``{"name": ..., <params>}`` spec);
+    ``run_dir`` persists the study's versioned artifact directory, and
+    ``checkpoint_path``/``resume_from`` give dir-less checkpointing for long
+    campaigns.  The defaults keep the paper's serial Algorithm 1,
+    bit-identical to the historical hand-wired ``HyperMapper(...)`` call.
     """
     device: DeviceModel = get_device(platform)
     runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
-    space = kfusion_design_space()
-    objectives = kfusion_objectives(accuracy_limit_m)
-
-    executor = make_executor(runner.evaluation_function(device), objectives, scale, n_workers)
-    optimizer = HyperMapper(
-        space,
-        objectives,
-        executor,
-        n_random_samples=scale.n_random_samples,
-        max_iterations=scale.max_iterations,
-        pool_size=scale.pool_size,
-        max_samples_per_iteration=scale.max_samples_per_iteration,
-        seed=derive_seed(seed, "fig3", platform),
-        acquisition=acquisition,
-        overlap_fraction=overlap_fraction,
-        checkpoint_path=checkpoint_path,
+    scenario = fig3_scenario(
+        platform, scale, seed, accuracy_limit_m, acquisition, n_workers, overlap_fraction
     )
-    result = optimizer.run(resume_from=resume_from)
+    study = Study(scenario, runner=runner)
+    result: StudyResult = study.run(
+        run_dir=run_dir, resume_from=resume_from, checkpoint_path=checkpoint_path
+    )
 
+    space = get_workload("kfusion").space()
+    objectives = result.objectives
     history = result.history
     random_history = history.filter(source="random")
-    al_history = history.filter(source="active_learning")
 
-    default_config = kfusion_default_config()
+    default_config = get_workload("kfusion").default_config()
     default_metrics = runner.evaluate(default_config, device)
 
     random_front = random_history.pareto_records()
     full_front = result.pareto
     best_speed = result.best_by("runtime_s")
     best_accuracy = result.best_by("max_ate_m")
+    stats = history_stats(result)
 
     # Headline numbers.
     speedup = default_metrics["runtime_s"] / best_speed.metrics["runtime_s"] if best_speed else float("nan")
@@ -104,16 +134,17 @@ def run_fig3(
         "platform": device.name,
         "platform_key": platform,
         "scale": scale.name,
+        "scenario": result.scenario.to_dict(),
         "space_cardinality": float(space.cardinality),
         "accuracy_limit_m": accuracy_limit_m,
-        "n_random_samples": len(random_history),
-        "n_active_learning_samples": len(al_history),
+        "n_random_samples": stats["n_random_samples"],
+        "n_active_learning_samples": stats["n_active_learning_samples"],
         "n_active_learning_iterations": len(result.iterations),
         "samples_per_iteration": [r.n_new_samples for r in result.iterations],
-        "n_valid_random": random_history.n_feasible(),
-        "n_valid_active_learning": al_history.n_feasible(),
+        "n_valid_random": stats["n_valid_random"],
+        "n_valid_active_learning": stats["n_valid_active_learning"],
         "n_pareto_points": len(full_front),
-        "n_pareto_points_random_only": len(random_front),
+        "n_pareto_points_random_only": stats["n_pareto_points_random_only"],
         "default_metrics": {k: float(v) for k, v in default_metrics.items()},
         "default_fps": float(default_metrics["fps"]),
         "best_speed_config": dict(best_speed.config) if best_speed else None,
@@ -127,12 +158,8 @@ def run_fig3(
         "active_learning_front": _front_series(full_front, objectives),
         "iteration_reports": [r.to_dict() for r in result.iterations],
         "n_pipeline_simulations": runner.n_simulations,
-        "engine": {
-            "acquisition": type(optimizer.acquisition).__name__,
-            "n_eval_workers": executor.n_workers,
-            "overlap_fraction": overlap_fraction,
-            "n_black_box_evaluations": executor.n_evaluations,
-        },
+        "engine": dict(result.engine_info),
+        "run_dir": None if result.run_dir is None else str(result.run_dir),
     }
     return out
 
@@ -174,4 +201,4 @@ def format_fig3(result: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["run_fig3", "format_fig3"]
+__all__ = ["fig3_scenario", "run_fig3", "format_fig3"]

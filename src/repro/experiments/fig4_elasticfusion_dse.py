@@ -5,26 +5,67 @@ Reproduces the random-sampling vs active-learning comparison on the second,
 numbers: the default configuration runs at about 45 FPS, the tuned
 configurations improve runtime by about 1.5x while also improving accuracy,
 and a separate configuration improves accuracy by about 2x over the default.
+
+Like Fig. 3, the exploration is a declarative scenario executed through the
+:class:`~repro.core.study.Study` front door.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
-from repro.core.acquisition import AcquisitionStrategy
-from repro.core.optimizer import HyperMapper
-from repro.devices.catalog import NVIDIA_GTX_780TI, get_device
+from repro.core.study import Study, StudyResult
+from repro.devices.catalog import get_device
 from repro.devices.model import DeviceModel
-from repro.experiments.common import SMALL, ExperimentScale, make_executor, make_runner
-from repro.slambench.parameters import (
-    ACCURACY_LIMIT_M,
-    elasticfusion_default_config,
-    elasticfusion_design_space,
-    elasticfusion_objectives,
+from repro.experiments.common import (
+    SMALL,
+    ExperimentScale,
+    executor_spec,
+    history_stats,
+    make_runner,
+    slambench_evaluator_spec,
 )
+from repro.slambench.parameters import ACCURACY_LIMIT_M
 from repro.slambench.runner import SlamBenchRunner
+from repro.slambench.workloads import get_workload
 from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
+
+
+def fig4_scenario(
+    platform: str = "gtx-780ti",
+    scale: ExperimentScale = SMALL,
+    seed: int = 11,
+    accuracy_limit_m: float = ACCURACY_LIMIT_M,
+    acquisition: Union[str, Mapping, None] = None,
+    n_workers: Optional[int] = None,
+    overlap_fraction: Optional[float] = None,
+) -> Dict[str, object]:
+    """The Fig. 4 exploration as a plain scenario dict (JSON-serializable).
+
+    ElasticFusion evaluations are heavier than KFusion ones, so the
+    random-sampling budget is scaled the same way the paper scales it
+    (2,400 vs 3,000 samples) and the per-iteration cap is halved.
+    """
+    search: Dict[str, object] = {
+        "algorithm": "hypermapper",
+        "n_random_samples": max(int(scale.n_random_samples * 0.8), 8),
+        "max_iterations": scale.max_iterations,
+        "pool_size": scale.pool_size,
+        "max_samples_per_iteration": max(scale.max_samples_per_iteration // 2, 4),
+    }
+    if acquisition is not None:
+        search["acquisition"] = acquisition
+    return {
+        "schema_version": 1,
+        "name": f"fig4-elasticfusion-{platform}",
+        "evaluator": slambench_evaluator_spec(
+            "elasticfusion", platform, scale, dataset_seed=seed, accuracy_limit_m=accuracy_limit_m
+        ),
+        "search": search,
+        "executor": executor_spec(scale, n_workers, overlap_fraction),
+        "seed": derive_seed(seed, "fig4", platform),
+    }
 
 
 def run_fig4(
@@ -33,43 +74,31 @@ def run_fig4(
     seed: int = 11,
     runner: Optional[SlamBenchRunner] = None,
     accuracy_limit_m: float = ACCURACY_LIMIT_M,
-    acquisition: Union[AcquisitionStrategy, str, None] = None,
+    acquisition: Union[str, Mapping, None] = None,
     n_workers: Optional[int] = None,
     overlap_fraction: Optional[float] = None,
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    run_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the ElasticFusion DSE and collect the Fig. 4 / Section IV statistics."""
     device: DeviceModel = get_device(platform)
     runner = runner if runner is not None else make_runner("elasticfusion", scale, dataset_seed=seed)
-    space = elasticfusion_design_space()
-    objectives = elasticfusion_objectives(accuracy_limit_m)
-
-    # ElasticFusion evaluations are heavier than KFusion ones, so the
-    # random-sampling budget is scaled the same way the paper scales it
-    # (2,400 vs 3,000 samples).
-    n_random = max(int(scale.n_random_samples * 0.8), 8)
-    executor = make_executor(runner.evaluation_function(device), objectives, scale, n_workers)
-    optimizer = HyperMapper(
-        space,
-        objectives,
-        executor,
-        n_random_samples=n_random,
-        max_iterations=scale.max_iterations,
-        pool_size=scale.pool_size,
-        max_samples_per_iteration=max(scale.max_samples_per_iteration // 2, 4),
-        seed=derive_seed(seed, "fig4", platform),
-        acquisition=acquisition,
-        overlap_fraction=overlap_fraction,
-        checkpoint_path=checkpoint_path,
+    scenario = fig4_scenario(
+        platform, scale, seed, accuracy_limit_m, acquisition, n_workers, overlap_fraction
     )
-    result = optimizer.run(resume_from=resume_from)
+    study = Study(scenario, runner=runner)
+    result: StudyResult = study.run(
+        run_dir=run_dir, resume_from=resume_from, checkpoint_path=checkpoint_path
+    )
 
+    workload = get_workload("elasticfusion")
+    space = workload.space()
     history = result.history
     random_history = history.filter(source="random")
-    al_history = history.filter(source="active_learning")
+    stats = history_stats(result)
 
-    default_config = elasticfusion_default_config()
+    default_config = workload.default_config()
     default_metrics = runner.evaluate(default_config, device)
 
     best_speed = result.best_by("runtime_s")
@@ -92,14 +121,15 @@ def run_fig4(
         "platform": device.name,
         "platform_key": platform,
         "scale": scale.name,
+        "scenario": result.scenario.to_dict(),
         "space_cardinality": float(space.cardinality),
         "accuracy_limit_m": accuracy_limit_m,
-        "n_random_samples": len(random_history),
-        "n_active_learning_samples": len(al_history),
+        "n_random_samples": stats["n_random_samples"],
+        "n_active_learning_samples": stats["n_active_learning_samples"],
         "n_active_learning_iterations": len(result.iterations),
         "samples_per_iteration": [r.n_new_samples for r in result.iterations],
-        "n_valid_random": random_history.n_feasible(),
-        "n_valid_active_learning": al_history.n_feasible(),
+        "n_valid_random": stats["n_valid_random"],
+        "n_valid_active_learning": stats["n_valid_active_learning"],
         "n_pareto_points": len(front),
         "default_metrics": {k: float(v) for k, v in default_metrics.items()},
         "default_fps": float(default_metrics["fps"]),
@@ -124,12 +154,8 @@ def run_fig4(
         ],
         "iteration_reports": [r.to_dict() for r in result.iterations],
         "n_pipeline_simulations": runner.n_simulations,
-        "engine": {
-            "acquisition": type(optimizer.acquisition).__name__,
-            "n_eval_workers": executor.n_workers,
-            "overlap_fraction": overlap_fraction,
-            "n_black_box_evaluations": executor.n_evaluations,
-        },
+        "engine": dict(result.engine_info),
+        "run_dir": None if result.run_dir is None else str(result.run_dir),
     }
 
 
@@ -170,4 +196,4 @@ def format_fig4(result: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["run_fig4", "format_fig4"]
+__all__ = ["fig4_scenario", "run_fig4", "format_fig4"]

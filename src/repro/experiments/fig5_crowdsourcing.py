@@ -15,14 +15,14 @@ from typing import Dict, List, Mapping, Optional
 import numpy as np
 
 from repro.crowd.analysis import cross_device_correlation, speedup_histogram, speedup_statistics
-from repro.crowd.app import run_crowd_experiment
+from repro.crowd.app import run_crowd_experiment, tuned_config_from_run
 from repro.crowd.database import CrowdDatabase
 from repro.devices.catalog import ODROID_XU3
 from repro.devices.mobile import make_mobile_fleet
 from repro.experiments.common import SMALL, ExperimentScale, make_runner
 from repro.experiments.fig3_kfusion_dse import run_fig3
-from repro.slambench.parameters import kfusion_default_config, kfusion_design_space
 from repro.slambench.runner import SlamBenchRunner
+from repro.slambench.workloads import get_workload
 from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
 
@@ -34,23 +34,29 @@ def run_fig5(
     runner: Optional[SlamBenchRunner] = None,
     n_correlation_configs: int = 24,
     n_workers: Optional[int] = None,
+    tuned_run_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the crowd-sourcing experiment.
 
     ``tuned_config`` is normally the best-runtime configuration of the
-    ODROID-XU3 Pareto front (Fig. 3); when omitted, a reduced Fig. 3 run is
-    performed first to obtain it.  ``n_workers`` (default: the scale's
-    ``n_eval_workers``) runs fleet devices concurrently; results are
-    order-deterministic either way.
+    ODROID-XU3 Pareto front (Fig. 3); ``tuned_run_dir`` reads it from a
+    persisted Fig. 3 study run directory (the artifact a crowd frontend
+    would consume); when both are omitted, a reduced scenario-driven Fig. 3
+    run is performed first to obtain it.  ``n_workers`` (default: the
+    scale's ``n_eval_workers``) runs fleet devices concurrently; results
+    are order-deterministic either way.
     """
+    workload = get_workload("kfusion")
     runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
+    if tuned_config is None and tuned_run_dir is not None:
+        tuned_config = tuned_config_from_run(tuned_run_dir)
     if tuned_config is None:
         fig3 = run_fig3(platform="odroid-xu3", scale=scale, seed=seed, runner=runner)
         tuned_config = fig3["best_speed_config"]
         if tuned_config is None:
             raise RuntimeError("the Fig. 3 exploration produced no valid configuration")
 
-    default_config = dict(kfusion_default_config())
+    default_config = dict(workload.default_config())
     fleet = make_mobile_fleet(n_devices=scale.crowd_devices, seed=derive_seed(seed, "fleet"))
     database = CrowdDatabase()
     runs = run_crowd_experiment(
@@ -68,7 +74,7 @@ def run_fig5(
 
     # Zero-shot transfer: rank correlation of per-configuration runtimes
     # between the ODROID-XU3 and a handful of fleet devices.
-    space = kfusion_design_space()
+    space = workload.space()
     probe_configs = [dict(c) for c in space.sample(n_correlation_configs, rng=derive_seed(seed, "probe"))]
     probe_configs.append(default_config)
     correlations = []

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional
 
 from repro.experiments.common import SMALL, ExperimentScale
 from repro.experiments.fig4_elasticfusion_dse import run_fig4
-from repro.slambench.parameters import elasticfusion_default_config, table1_flag_columns
+from repro.slambench.parameters import table1_flag_columns
+from repro.slambench.workloads import get_workload
 from repro.utils.tables import format_table
 
 
@@ -40,7 +41,7 @@ def run_table1(
     result = fig4_result if fig4_result is not None else run_fig4(scale=scale, seed=seed)
 
     rows: List[Dict[str, object]] = []
-    default_config = dict(elasticfusion_default_config())
+    default_config = dict(get_workload("elasticfusion").default_config())
     rows.append(_row("Default", default_config, result["default_metrics"]))
 
     pareto = list(result.get("pareto_records", []))

@@ -20,8 +20,18 @@ from repro.slambench.parameters import (
 )
 from repro.slambench.workload import kfusion_frame_kernels, elasticfusion_frame_kernels, sequence_runtime
 from repro.slambench.runner import SlamBenchRunner, SlamRunRecord
+from repro.slambench.workloads import (
+    SlamWorkload,
+    KFusionWorkload,
+    ElasticFusionWorkload,
+    get_workload,
+)
 
 __all__ = [
+    "SlamWorkload",
+    "KFusionWorkload",
+    "ElasticFusionWorkload",
+    "get_workload",
     "kfusion_design_space",
     "kfusion_default_config",
     "kfusion_objectives",
