@@ -9,14 +9,29 @@ Subcommands
 ``resume <run_dir>``
     Continue a killed run from its engine checkpoint (bit-identical to the
     uninterrupted run); a finished run just replays to the same result.
-``validate <scenario>...``
-    Validate scenario files without running anything.  Errors carry
-    JSON-pointer-style paths to the offending key.
+``sweep <spec>``
+    Expand a sweep spec into a fleet of studies, run them on the scheduler
+    (one run dir per point), and write the cross-run comparison report.
+    ``--resume`` completes only the points a killed sweep left unfinished.
+``sweep-report <sweep_dir>``
+    Recompute and print the comparison report of a persisted sweep.
+``validate <spec>...``
+    Validate scenario or sweep files (detected by shape) without running
+    anything.  Errors carry JSON-pointer-style paths to the offending key.
 ``report <run_dir>``
     Print the report of a persisted run, derived from its ``history.jsonl``.
 ``list-plugins``
     Show every registered plugin name (acquisitions, search algorithms,
-    evaluators, workloads, devices).
+    evaluators, workloads, devices, schedule policies).
+
+Exit codes (consistent across subcommands)
+------------------------------------------
+* ``0`` — success.
+* ``1`` — the work itself failed: a run crashed at runtime, or a sweep
+  finished *partial* (some points failed — the rest of their siblings'
+  artifacts are intact and reported).
+* ``2`` — the input could not be used: validation errors, unknown plugins,
+  missing files/directories, refusing to clobber an existing run.
 """
 
 from __future__ import annotations
@@ -31,7 +46,24 @@ from typing import Dict, List, Optional
 from repro.core.registry import registry_snapshot
 from repro.core.scenario import Scenario, ScenarioError
 from repro.core.study import Study, StudyResult
+from repro.core.sweep import (
+    SweepSpec,
+    build_comparison,
+    load_spec_file,
+    run_sweep,
+)
 from repro.utils.tables import format_table
+
+#: Exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_USAGE = 2
+
+
+def _safe_dir_name(name: str) -> str:
+    # The name comes off the wire — sanitize it before deriving a path
+    # so it cannot climb out of (or scatter nested dirs under) runs/.
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip(".-") or "scenario"
 
 
 def _print_report(result: StudyResult, out=None) -> None:
@@ -71,52 +103,147 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenario = Scenario.from_file(scenario_path)
     except FileNotFoundError:
         print(f"error: {scenario_path}: no such file", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except ScenarioError as exc:
         print(f"error: {scenario_path}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.seed is not None:
         scenario = scenario.replace(seed=args.seed)
     if args.run_dir:
         run_dir = Path(args.run_dir)
     else:
-        # The name comes off the wire — sanitize it before deriving a path
-        # so it cannot climb out of (or scatter nested dirs under) runs/.
-        safe_name = re.sub(r"[^A-Za-z0-9._-]+", "-", scenario.name).strip(".-") or "scenario"
-        run_dir = Path("runs") / safe_name
+        run_dir = Path("runs") / _safe_dir_name(scenario.name)
     if (run_dir / "history.jsonl").exists() and not args.force:
         print(
             f"error: {run_dir} already holds a run (use --force to overwrite, "
             f"or 'resume' to continue it)",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     try:
         result = Study(scenario).run(run_dir=run_dir)
-    except ValueError as exc:  # includes ScenarioError (compile-time errors)
+    except ScenarioError as exc:  # compile-time errors: the spec is unusable
         print(f"error: {scenario_path}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except Exception as exc:  # the run itself failed (status recorded in run.json)
+        print(f"error: run failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILED
     if not args.quiet:
         _print_report(result)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     try:
         result = Study.resume(args.run_dir)
-    except (FileNotFoundError, ScenarioError, ValueError) as exc:
+    except (FileNotFoundError, ScenarioError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except ValueError as exc:  # corrupt/incompatible checkpoint or run dir
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:
+        print(f"error: resume failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILED
     if not args.quiet:
         _print_report(result)
-    return 0
+    return EXIT_OK
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec_path = Path(args.spec)
+    try:
+        spec = SweepSpec.from_file(spec_path)
+    except FileNotFoundError:
+        print(f"error: {spec_path}: no such file", file=sys.stderr)
+        return EXIT_USAGE
+    except ScenarioError as exc:
+        print(f"error: {spec_path}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    sweep_dir = Path(args.sweep_dir) if args.sweep_dir else Path("runs") / _safe_dir_name(spec.name)
+    try:
+        result = run_sweep(
+            spec,
+            sweep_dir,
+            max_concurrent=args.max_concurrent,
+            resume=args.resume,
+            force=args.force,
+        )
+    except (ScenarioError, ValueError) as exc:
+        # ValueError here is scheduler configuration (e.g. --max-concurrent 0);
+        # per-point runtime failures never raise — they are manifest entries.
+        print(f"error: {spec_path}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:
+        print(f"error: sweep failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    if not args.quiet:
+        _print_sweep(result.comparison, sweep_dir)
+    if result.status != "complete":
+        print(
+            f"error: sweep finished partial ({result.n_failed} of "
+            f"{result.manifest['n_points']} points failed; see {sweep_dir / 'sweep.json'})",
+            file=sys.stderr,
+        )
+        return EXIT_FAILED
+    return EXIT_OK
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    try:
+        comparison = build_comparison(args.sweep_dir, write=not args.no_write)
+    except (FileNotFoundError, ValueError, ScenarioError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps(comparison, indent=2, sort_keys=True))
+    else:
+        _print_sweep(comparison, Path(args.sweep_dir))
+    return EXIT_OK if comparison["status"] == "complete" else EXIT_FAILED
+
+
+def _print_sweep(comparison: Dict, sweep_dir: Path, out=None) -> None:
+    objectives = comparison.get("objectives") or []
+    lines: List[str] = [
+        f"sweep {comparison['sweep']!r}: {comparison['n_complete']}/{comparison['n_points']} "
+        f"points complete ({comparison['status']})"
+    ]
+    rows = []
+    for entry in comparison["points"]:
+        hv = entry.get("hypervolume")
+        best = entry.get("best", {})
+        rows.append(
+            [
+                entry["point_id"],
+                entry["status"],
+                str(entry.get("n_evaluations", "-")),
+                str(entry.get("n_pareto", "-")),
+                "-" if hv is None else f"{hv:.6g}",
+            ]
+            + ["-" if best.get(n) is None else f"{best[n]:.6g}" for n in objectives]
+        )
+    lines.append(
+        format_table(
+            rows,
+            headers=["point", "status", "evals", "pareto", "hypervolume"]
+            + [f"best {n}" for n in objectives],
+            title="  Points:",
+        )
+    )
+    for entry in comparison["points"]:
+        if entry["status"] in ("failed", "invalid", "unreadable"):
+            lines.append(f"  {entry['point_id']}: {entry['status']}: {entry.get('error')}")
+    if comparison.get("ranking"):
+        lines.append("  ranking by hypervolume: " + ", ".join(comparison["ranking"]))
+    lines.append(f"  artifacts: {sweep_dir}")
+    print("\n".join(lines), file=out if out is not None else sys.stdout)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     failures = 0
     for path in args.scenarios:
         try:
-            scenario = Scenario.from_file(path)
+            spec = load_spec_file(path)
         except FileNotFoundError:
             print(f"{path}: error: no such file", file=sys.stderr)
             failures += 1
@@ -125,12 +252,26 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             print(f"{path}: error: {exc}", file=sys.stderr)
             failures += 1
             continue
-        print(
-            f"{path}: ok (scenario {scenario.name!r}, "
-            f"algorithm {scenario.search_spec['algorithm']!r}, "
-            f"evaluator {scenario.evaluator_spec['type']!r})"
-        )
-    return 1 if failures else 0
+        if isinstance(spec, SweepSpec):
+            try:
+                # Validation includes expansion: every point's overrides must
+                # produce a valid scenario, not just the base.
+                points = spec.expand(strict=True)
+            except ScenarioError as exc:
+                print(f"{path}: error: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            print(
+                f"{path}: ok (sweep {spec.name!r}, {len(points)} points, "
+                f"algorithm {spec.base.search_spec['algorithm']!r})"
+            )
+        else:
+            print(
+                f"{path}: ok (scenario {spec.name!r}, "
+                f"algorithm {spec.search_spec['algorithm']!r}, "
+                f"evaluator {spec.evaluator_spec['type']!r})"
+            )
+    return EXIT_USAGE if failures else EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -138,24 +279,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
         result = StudyResult.load(args.run_dir)
     except (FileNotFoundError, ValueError, ScenarioError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.json:
         print(json.dumps(result.report(), indent=2, sort_keys=True))
     else:
         _print_report(result)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_list_plugins(args: argparse.Namespace) -> int:
     snapshot: Dict[str, List[str]] = registry_snapshot()
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
-        return 0
+        return EXIT_OK
     for kind in sorted(snapshot):
         print(f"{kind}:")
         for name in snapshot[kind]:
             print(f"  {name}")
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,8 +320,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument("--quiet", action="store_true", help="suppress the report printout")
     p_resume.set_defaults(fn=_cmd_resume)
 
-    p_validate = sub.add_parser("validate", help="validate scenario files")
-    p_validate.add_argument("scenarios", nargs="+", help="scenario files to check")
+    p_sweep = sub.add_parser(
+        "sweep", help="expand a sweep spec and run every point on the scheduler"
+    )
+    p_sweep.add_argument("spec", help="path to a .json or .toml sweep spec")
+    p_sweep.add_argument("--sweep-dir", help="sweep directory (default: runs/<sweep name>)")
+    p_sweep.add_argument(
+        "--max-concurrent", type=int, help="override the spec's max_concurrent_studies"
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload finished points and complete only the rest",
+    )
+    p_sweep.add_argument("--force", action="store_true", help="overwrite an existing sweep dir")
+    p_sweep.add_argument("--quiet", action="store_true", help="suppress the report printout")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_sweep_report = sub.add_parser(
+        "sweep-report", help="recompute and print the comparison report of a sweep"
+    )
+    p_sweep_report.add_argument("sweep_dir", help="sweep directory written by 'sweep'")
+    p_sweep_report.add_argument("--json", action="store_true", help="emit the raw comparison JSON")
+    p_sweep_report.add_argument(
+        "--no-write", action="store_true", help="do not refresh comparison.json/comparison.md"
+    )
+    p_sweep_report.set_defaults(fn=_cmd_sweep_report)
+
+    p_validate = sub.add_parser("validate", help="validate scenario / sweep files")
+    p_validate.add_argument("scenarios", nargs="+", help="scenario or sweep files to check")
     p_validate.set_defaults(fn=_cmd_validate)
 
     p_report = sub.add_parser("report", help="print the report of a persisted run")

@@ -67,16 +67,42 @@ from repro.core.registry import (
     EVALUATOR_REGISTRY,
     WORKLOAD_REGISTRY,
     DEVICE_REGISTRY,
+    SCHEDULE_POLICY_REGISTRY,
     register_acquisition,
     register_search,
     register_evaluator,
     register_workload,
     register_device,
+    register_schedule_policy,
     registry_snapshot,
 )
-from repro.core.scenario import SCENARIO_VERSION, Scenario, ScenarioError, validate_scenario
+from repro.core.scenario import (
+    SCENARIO_VERSION,
+    Scenario,
+    ScenarioError,
+    set_by_path,
+    validate_scenario,
+)
 from repro.core.optimizer import HyperMapper, HyperMapperResult, ActiveLearningReport
-from repro.core.study import RUN_DIR_VERSION, CompiledStudy, Study, StudyResult
+from repro.core.study import RUN_DIR_VERSION, CompiledStudy, Study, StudyResult, run_status
+from repro.core.scheduler import (
+    StudyScheduler,
+    StudySubmission,
+    StudyOutcome,
+    map_ordered,
+)
+from repro.core.sweep import (
+    SWEEP_VERSION,
+    SWEEP_DIR_VERSION,
+    SweepError,
+    SweepPoint,
+    SweepSpec,
+    SweepResult,
+    validate_sweep,
+    run_sweep,
+    build_comparison,
+    load_spec_file,
+)
 from repro.core.baselines import (
     RandomSearch,
     GridSearch,
@@ -140,20 +166,38 @@ __all__ = [
     "EVALUATOR_REGISTRY",
     "WORKLOAD_REGISTRY",
     "DEVICE_REGISTRY",
+    "SCHEDULE_POLICY_REGISTRY",
     "register_acquisition",
     "register_search",
     "register_evaluator",
     "register_workload",
     "register_device",
+    "register_schedule_policy",
     "registry_snapshot",
     "SCENARIO_VERSION",
     "Scenario",
     "ScenarioError",
+    "set_by_path",
     "validate_scenario",
     "RUN_DIR_VERSION",
     "CompiledStudy",
     "Study",
     "StudyResult",
+    "run_status",
+    "StudyScheduler",
+    "StudySubmission",
+    "StudyOutcome",
+    "map_ordered",
+    "SWEEP_VERSION",
+    "SWEEP_DIR_VERSION",
+    "SweepError",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepResult",
+    "validate_sweep",
+    "run_sweep",
+    "build_comparison",
+    "load_spec_file",
     "Constraint",
     "BoundConstraint",
     "ConstraintSet",

@@ -36,6 +36,7 @@ _BUILTIN_PROVIDERS = (
     "repro.core.acquisition",
     "repro.core.baselines",
     "repro.core.optimizer",
+    "repro.core.scheduler",
     "repro.core.study",
     "repro.devices.catalog",
     "repro.slambench.workloads",
@@ -145,6 +146,8 @@ EVALUATOR_REGISTRY = Registry("evaluator")
 WORKLOAD_REGISTRY = Registry("workload")
 #: Device models resolvable by short key.
 DEVICE_REGISTRY = Registry("device")
+#: Scheduler admission policies (``(pending, started_per_tenant) -> index``).
+SCHEDULE_POLICY_REGISTRY = Registry("schedule policy")
 
 
 def register_acquisition(name: str, obj: Any = None):
@@ -182,6 +185,16 @@ def register_device(name: str, obj: Any = None):
     """Register a device model under a short key (normalized to lower case,
     matching the case-insensitive scenario/catalog lookups)."""
     return DEVICE_REGISTRY.register(str(name).strip().lower(), obj)
+
+
+def register_schedule_policy(name: str, obj: Any = None):
+    """Register a scheduler admission policy under ``name``.
+
+    A policy is a callable ``(pending, started_per_tenant) -> index``
+    choosing which queued :class:`~repro.core.scheduler.StudySubmission` is
+    admitted into the next free slot (see :mod:`repro.core.scheduler`).
+    """
+    return SCHEDULE_POLICY_REGISTRY.register(name, obj)
 
 
 @dataclass
@@ -238,6 +251,7 @@ def registry_snapshot() -> Dict[str, List[str]]:
         "evaluator": EVALUATOR_REGISTRY.names(),
         "workload": WORKLOAD_REGISTRY.names(),
         "device": DEVICE_REGISTRY.names(),
+        "schedule_policy": SCHEDULE_POLICY_REGISTRY.names(),
     }
 
 
@@ -251,11 +265,13 @@ __all__ = [
     "EVALUATOR_REGISTRY",
     "WORKLOAD_REGISTRY",
     "DEVICE_REGISTRY",
+    "SCHEDULE_POLICY_REGISTRY",
     "register_acquisition",
     "register_search",
     "register_evaluator",
     "register_workload",
     "register_device",
+    "register_schedule_policy",
     "registry_snapshot",
     "load_builtin_plugins",
 ]

@@ -365,6 +365,33 @@ def _validate_checkpoint(section: Any, path: str) -> Dict[str, Any]:
     return {"every": _expect_int(spec.get("every", 1), f"{path}/every", minimum=1)}
 
 
+def set_by_path(data: Dict[str, Any], path: str, value: Any) -> None:
+    """Set a dotted-path key in a nested scenario mapping (in place).
+
+    ``set_by_path(d, "evaluator.device", "tk1")`` assigns
+    ``d["evaluator"]["device"]``, creating intermediate objects as needed (so
+    an axis over ``"executor.n_workers"`` works even when the base scenario
+    omits the ``executor`` section).  Overriding *below* a non-object value
+    is rejected with a pointer path — a sweep axis must never silently
+    clobber a scalar.
+    """
+    parts = [p for p in str(path).split(".") if p]
+    if not parts:
+        raise ScenarioError("/", f"invalid override path {path!r}")
+    node = data
+    for depth, part in enumerate(parts[:-1]):
+        child = node.get(part)
+        if child is None:
+            child = node[part] = {}
+        elif not isinstance(child, dict):
+            pointer = "/" + "/".join(parts[: depth + 1])
+            raise ScenarioError(
+                pointer, f"cannot apply override {path!r} below a non-object value"
+            )
+        node = child
+    node[parts[-1]] = copy.deepcopy(value)
+
+
 def validate_scenario(data: Any, name: Optional[str] = None) -> Dict[str, Any]:
     """Validate a raw scenario mapping and return its normalized form.
 
@@ -581,6 +608,18 @@ class Scenario:
             data[key] = value
         return Scenario.from_dict(data)
 
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "Scenario":
+        """A new scenario with dotted-path overrides applied and re-validated.
+
+        ``overrides`` maps dotted paths into the scenario document to
+        replacement values (``{"seed": 3, "evaluator.device": "odroid-xu3",
+        "search": {...}}``) — the unit of variation a sweep axis uses.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            set_by_path(data, path, value)
+        return Scenario.from_dict(data)
+
     # -- identity -------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Scenario):
@@ -598,5 +637,6 @@ __all__ = [
     "SCENARIO_VERSION",
     "ScenarioError",
     "validate_scenario",
+    "set_by_path",
     "Scenario",
 ]

@@ -1,0 +1,283 @@
+"""Multi-tenant study scheduling on one shared worker budget.
+
+The paper's tool runs as a *service*: many explorations — different users,
+devices, seeds — queue up and share one evaluation fleet (83 boards in the
+crowd scenario).  :class:`StudyScheduler` is that layer: a queue of scenario
+submissions is admitted into a bounded number of concurrent study slots,
+each study runs crash-isolated (one failed study never poisons its
+siblings), and an optional total worker budget is split fair-share across
+the slots.
+
+Determinism is inherited, not hoped for: every study runs on its own
+engine/executor stack, whose history is bit-identical for any worker count
+(see :mod:`repro.core.executor`), so a sweep with ``max_concurrent_studies=k``
+produces *per-point* results identical to running each scenario alone —
+the invariant the sweep tests pin down.
+
+Admission order is a pluggable policy (:data:`SCHEDULE_POLICY_REGISTRY`):
+
+* ``"fifo"`` — strict submission order.
+* ``"fair_share"`` (default) — round-robin across tenants: the tenant with
+  the fewest admitted studies goes next, ties broken by submission order.
+  With a single tenant this degenerates to FIFO.
+
+Policies only choose *which queued study starts next*; they never affect a
+study's result.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, TypeVar, Union
+
+from repro.core.registry import SCHEDULE_POLICY_REGISTRY, register_schedule_policy
+from repro.core.scenario import Scenario
+from repro.core.study import SCENARIO_FILE, Study, StudyResult, run_status
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@register_schedule_policy("fifo")
+def fifo_policy(
+    pending: Sequence["StudySubmission"], started_per_tenant: Mapping[str, int]
+) -> int:
+    """Admit strictly in submission order."""
+    return 0
+
+
+@register_schedule_policy("fair_share")
+def fair_share_policy(
+    pending: Sequence["StudySubmission"], started_per_tenant: Mapping[str, int]
+) -> int:
+    """Admit the tenant with the fewest studies admitted so far.
+
+    Ties break by queue position, so a single tenant (e.g. one sweep) sees
+    plain FIFO and the outcome is deterministic for any completion timing.
+    """
+    best = 0
+    best_key = None
+    for i, submission in enumerate(pending):
+        key = (started_per_tenant.get(submission.tenant, 0), i)
+        if best_key is None or key < best_key:
+            best, best_key = i, key
+    return best
+
+
+def map_ordered(
+    fn: Callable[[_T], _R], items: Sequence[_T], *, max_concurrent: int = 1
+) -> List[_R]:
+    """Run ``fn`` over ``items`` on a thread pool, results in item order.
+
+    The deterministic fan-out primitive the crowd app uses for its device
+    fleet: tasks run concurrently but results always come back in submission
+    order, so downstream consumers (database uploads, reports) see the same
+    sequence as a serial run.  ``max_concurrent <= 1`` is the inline serial
+    path.  The first failing item's exception is re-raised, as in a serial
+    loop.
+    """
+    items = list(items)
+    if max_concurrent <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with concurrent.futures.ThreadPoolExecutor(max_workers=int(max_concurrent)) as pool:
+        return list(pool.map(fn, items))
+
+
+@dataclass
+class StudySubmission:
+    """One queued study: a scenario plus its host-side bindings.
+
+    Attributes
+    ----------
+    key:
+        Caller-chosen identifier (a sweep uses the point id); reported back
+        on the outcome.
+    scenario:
+        Anything :meth:`~repro.core.scenario.Scenario.coerce` accepts.
+    run_dir:
+        Optional run directory for the PR-4 versioned artifact layout.
+    tenant:
+        Fair-share accounting bucket (one tenant per submitting client).
+    resume:
+        When set and ``run_dir`` already holds a complete run, the result is
+        reloaded without re-running; an incomplete run dir resumes from its
+        checkpoint; anything else runs fresh.
+    evaluate / runner / executor:
+        Host bindings forwarded to :class:`~repro.core.study.Study`.
+    """
+
+    key: str
+    scenario: Union[Scenario, Mapping[str, Any], str, Path]
+    run_dir: Optional[Union[str, Path]] = None
+    tenant: str = "default"
+    resume: bool = False
+    evaluate: Optional[Callable] = None
+    runner: Any = None
+    executor: Any = None
+
+
+@dataclass
+class StudyOutcome:
+    """What became of one submission (always returned, never raised)."""
+
+    key: str
+    status: str  # "complete" | "failed"
+    result: Optional[StudyResult] = None
+    error: Optional[str] = None
+    tenant: str = "default"
+    #: The run dir already held a complete run and was reloaded, not re-run.
+    reused: bool = False
+
+
+class StudyScheduler:
+    """Run many studies concurrently on a bounded slot/worker budget.
+
+    Parameters
+    ----------
+    max_concurrent_studies:
+        Number of studies running at once (slots).
+    worker_budget:
+        Total evaluation workers shared by all slots; each admitted study's
+        executor is capped at ``max(1, worker_budget // max_concurrent_studies)``
+        workers (fair share).  ``None`` leaves every scenario's own
+        ``executor.n_workers`` untouched.  Either way each point's history is
+        bit-identical to a standalone run — worker counts never change
+        results, only wall clock.
+    policy:
+        Admission policy name (:data:`SCHEDULE_POLICY_REGISTRY`) or callable.
+    """
+
+    def __init__(
+        self,
+        max_concurrent_studies: int = 1,
+        *,
+        worker_budget: Optional[int] = None,
+        policy: Union[str, Callable] = "fair_share",
+    ) -> None:
+        if int(max_concurrent_studies) < 1:
+            raise ValueError("max_concurrent_studies must be >= 1")
+        if worker_budget is not None and int(worker_budget) < 1:
+            raise ValueError("worker_budget must be >= 1 (or None)")
+        self.max_concurrent_studies = int(max_concurrent_studies)
+        self.worker_budget = None if worker_budget is None else int(worker_budget)
+        self.policy = SCHEDULE_POLICY_REGISTRY.get(policy) if isinstance(policy, str) else policy
+
+    @property
+    def workers_per_study(self) -> Optional[int]:
+        """Fair-share worker allotment per slot (``None`` = scenario's own)."""
+        if self.worker_budget is None:
+            return None
+        return max(1, self.worker_budget // self.max_concurrent_studies)
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        submissions: Sequence[StudySubmission],
+        on_outcome: Optional[Callable[[StudyOutcome], None]] = None,
+    ) -> List[StudyOutcome]:
+        """Run every submission; outcomes come back in submission order.
+
+        Failures are *contained*: a study that raises produces a ``"failed"``
+        outcome (with the error message) while its siblings keep running —
+        nothing short of the scheduler process dying stops the queue.
+        ``on_outcome`` fires in the scheduling thread as each study settles
+        (the sweep runner uses it to persist manifest progress).
+        """
+        pending: List[tuple] = [(i, s) for i, s in enumerate(submissions)]
+        outcomes: List[Optional[StudyOutcome]] = [None] * len(pending)
+        started_per_tenant: Dict[str, int] = {}
+        if not pending:
+            return []
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_concurrent_studies
+        ) as pool:
+            running: Dict[concurrent.futures.Future, int] = {}
+            while pending or running:
+                while pending and len(running) < self.max_concurrent_studies:
+                    pick = self.policy([s for _, s in pending], dict(started_per_tenant))
+                    if not isinstance(pick, int) or not 0 <= pick < len(pending):
+                        raise ValueError(
+                            f"schedule policy returned invalid index {pick!r} "
+                            f"for a queue of {len(pending)}"
+                        )
+                    index, submission = pending.pop(pick)
+                    started_per_tenant[submission.tenant] = (
+                        started_per_tenant.get(submission.tenant, 0) + 1
+                    )
+                    running[pool.submit(self._run_one, submission)] = index
+                done, _ = concurrent.futures.wait(
+                    running, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    index = running.pop(future)
+                    outcome = future.result()  # _run_one never raises
+                    outcomes[index] = outcome
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+        return [o for o in outcomes if o is not None]
+
+    # -- one study, crash-isolated ---------------------------------------------
+    def _run_one(self, submission: StudySubmission) -> StudyOutcome:
+        try:
+            return self._execute(submission)
+        except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            return StudyOutcome(
+                key=submission.key,
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+                tenant=submission.tenant,
+            )
+
+    def _execute(self, submission: StudySubmission) -> StudyOutcome:
+        run_dir = None if submission.run_dir is None else Path(submission.run_dir)
+        if submission.resume and run_dir is not None:
+            if run_status(run_dir) == "complete":
+                return StudyOutcome(
+                    key=submission.key,
+                    status="complete",
+                    result=StudyResult.load(run_dir),
+                    tenant=submission.tenant,
+                    reused=True,
+                )
+            if (run_dir / SCENARIO_FILE).exists():
+                result = Study.resume(
+                    run_dir,
+                    evaluate=submission.evaluate,
+                    runner=submission.runner,
+                    executor=submission.executor,
+                )
+                return StudyOutcome(
+                    key=submission.key,
+                    status="complete",
+                    result=result,
+                    tenant=submission.tenant,
+                )
+        scenario = Scenario.coerce(submission.scenario)
+        allotment = self.workers_per_study
+        if allotment is not None and submission.executor is None:
+            executor_spec = scenario.executor_spec
+            if executor_spec["n_workers"] != allotment:
+                executor_spec["n_workers"] = allotment
+                scenario = scenario.replace(executor=executor_spec)
+        study = Study(
+            scenario,
+            evaluate=submission.evaluate,
+            runner=submission.runner,
+            executor=submission.executor,
+        )
+        result = study.run(run_dir=run_dir)
+        return StudyOutcome(
+            key=submission.key, status="complete", result=result, tenant=submission.tenant
+        )
+
+
+__all__ = [
+    "StudySubmission",
+    "StudyOutcome",
+    "StudyScheduler",
+    "map_ordered",
+    "fifo_policy",
+    "fair_share_policy",
+]

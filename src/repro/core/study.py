@@ -110,6 +110,25 @@ class _HistoryWriter:
             self._fh = None
 
 
+def run_status(run_dir: Union[str, Path]) -> Optional[str]:
+    """Status recorded in a run directory's ``run.json``.
+
+    ``"complete"``, ``"running"`` (killed mid-run or live), ``"failed"``, or
+    ``None`` when the directory holds no readable run metadata.  This is the
+    cheap completeness probe the sweep scheduler uses to decide whether a
+    point needs (re-)running — no history is parsed.
+    """
+    path = Path(run_dir) / RUN_FILE
+    if not path.exists():
+        return None
+    try:
+        meta = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    status = meta.get("status")
+    return None if status is None else str(status)
+
+
 def _load_history_jsonl(path: Path, objectives: ObjectiveSet, space: Optional[DesignSpace]) -> History:
     dicts = []
     if path.exists():
@@ -183,6 +202,43 @@ class StudyResult:
         front = self.objectives.to_canonical(self.pareto_matrix())
         ref = self.objectives.to_canonical(np.asarray(reference, dtype=float).reshape(1, -1))[0]
         return hypervolume_2d(front, ref)
+
+    def quality_curve(
+        self, reference: Sequence[float], history: Optional[History] = None
+    ) -> List[List[float]]:
+        """Budget-to-quality series: ``[n_evaluations, hypervolume]`` pairs.
+
+        After each evaluation of the persisted history (the single source of
+        truth), the hypervolume of the feasible points seen so far w.r.t. a
+        *canonical* (minimization-form) 2-objective reference point —
+        typically one shared across every point of a sweep so the curves are
+        comparable.  Empty for problems with ``!= 2`` objectives.  Pass an
+        already-loaded ``history`` to avoid re-parsing ``history.jsonl``.
+        """
+        if len(self.objectives) != 2:
+            return []
+        if history is None:
+            history = self.persisted_history()
+        if len(history) == 0:
+            return []
+        matrix = history.objective_matrix(canonical=True)
+        mask = history.feasible_mask()
+        ref = np.asarray(reference, dtype=np.float64)
+        # Incremental: the prefix hypervolume only changes when a new point
+        # joins the running Pareto front, so recompute (over the front, not
+        # the whole prefix) only then — O(n·front) instead of O(n²·log n).
+        front: List[tuple] = []
+        hv = 0.0
+        curve: List[List[float]] = []
+        for i in range(len(history)):
+            if mask[i]:
+                p = (float(matrix[i, 0]), float(matrix[i, 1]))
+                if not any(q[0] <= p[0] and q[1] <= p[1] for q in front):
+                    front = [q for q in front if not (p[0] <= q[0] and p[1] <= q[1])]
+                    front.append(p)
+                    hv = float(hypervolume_2d(np.asarray(front), ref))
+            curve.append([i + 1, hv])
+        return curve
 
     # -- persistence-backed reporting ----------------------------------------
     def persisted_history(self) -> History:
@@ -576,5 +632,6 @@ __all__ = [
     "Study",
     "resolve_problem",
     "apply_constraints",
+    "run_status",
     "make_function_evaluator",
 ]

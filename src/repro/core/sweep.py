@@ -1,0 +1,778 @@
+"""Scenario sweeps: one spec expands into a fleet of studies.
+
+The paper's central workflow is not one optimization run but *fleets* of
+them — KFusion and ElasticFusion explored across devices, seeds and budgets.
+A **sweep spec** is the wire format for that workflow: a base scenario plus
+axes of variation, expanded deterministically into N scenarios, scheduled
+onto a shared slot/worker budget (:class:`~repro.core.scheduler.StudyScheduler`)
+and persisted as a **versioned sweep directory**::
+
+    sweep_dir/
+      sweep.json             # manifest: normalized spec + per-point status
+      points/<point_id>/     # one PR-4 run dir per point (scenario.json, ...)
+      comparison.json        # cross-run report: fronts, hypervolumes, curves
+      comparison.md          # the same, as a readable table
+
+Key invariants (pinned by ``tests/test_sweep_scheduler.py``):
+
+* **per-point bit-identity** — a point's ``history.jsonl`` under
+  ``max_concurrent_studies=k`` equals the standalone ``Study.run`` history of
+  the same scenario;
+* **crash isolation** — a failing point is recorded in the manifest
+  (``status: "failed"`` with the error) and every sibling completes;
+* **resumability** — re-running a killed sweep with ``resume=True`` reloads
+  finished points from their run dirs and completes only the rest.
+
+Spec format (JSON or TOML, ``schema_version: 1``)::
+
+    {"schema_version": 1,
+     "name": "kfusion-seed-device",
+     "scheduler": {"max_concurrent_studies": 4, "worker_budget": 8,
+                   "policy": "fair_share"},
+     "base": { ... a full scenario ... },
+     "axes": {"seed": [3, 7], "evaluator.device": ["odroid-xu3", "tk1"]},
+     "points": [{"seed": 13, "search.budget": 20}]}
+
+``axes`` expand as a cartesian product in declaration order (last axis
+fastest); ``points`` are explicit override sets appended after.  Axis keys
+are dotted paths into the scenario document
+(:func:`~repro.core.scenario.set_by_path`); a value may be a whole section
+(e.g. an axis over ``"search"`` swapping algorithms).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.pareto import hypervolume_2d
+from repro.core.registry import SCHEDULE_POLICY_REGISTRY, UnknownPluginError
+from repro.core.scenario import (
+    Scenario,
+    ScenarioError,
+    _expect_int,
+    _expect_mapping,
+    _expect_str,
+    _is_int,
+    _type_name,
+    set_by_path,
+    validate_scenario,
+)
+from repro.core.scheduler import StudyOutcome, StudyScheduler, StudySubmission
+from repro.core.study import StudyResult, apply_constraints
+
+#: Version of the sweep wire format accepted by this code.
+SWEEP_VERSION = 1
+#: Version stamp of the persisted sweep-directory layout.
+SWEEP_DIR_VERSION = 1
+
+#: File/directory names inside a sweep directory.
+SWEEP_FILE = "sweep.json"
+COMPARISON_FILE = "comparison.json"
+COMPARISON_MD_FILE = "comparison.md"
+POINTS_DIR = "points"
+
+_TOP_LEVEL_KEYS = ("schema_version", "name", "base", "axes", "points", "scheduler")
+
+
+class SweepError(ScenarioError):
+    """A sweep spec failed validation (JSON-pointer ``path`` included)."""
+
+
+def _validate_scheduler(section: Any, path: str) -> Dict[str, Any]:
+    spec = _expect_mapping(section, path)
+    unknown = [k for k in spec if k not in ("max_concurrent_studies", "worker_budget", "policy")]
+    if unknown:
+        raise SweepError(f"{path}/{unknown[0]}", "unknown key in scheduler section")
+    out: Dict[str, Any] = {
+        "max_concurrent_studies": _expect_int(
+            spec.get("max_concurrent_studies", 1), f"{path}/max_concurrent_studies", minimum=1
+        )
+    }
+    budget = spec.get("worker_budget")
+    out["worker_budget"] = (
+        None if budget is None else _expect_int(budget, f"{path}/worker_budget", minimum=1)
+    )
+    policy = _expect_str(spec.get("policy", "fair_share"), f"{path}/policy")
+    try:
+        SCHEDULE_POLICY_REGISTRY.get(policy)
+    except UnknownPluginError as exc:
+        raise SweepError(f"{path}/policy", str(exc)) from None
+    out["policy"] = policy
+    return out
+
+
+def validate_sweep(data: Any, name: Optional[str] = None) -> Dict[str, Any]:
+    """Validate a raw sweep mapping and return its normalized form.
+
+    Mirrors :func:`~repro.core.scenario.validate_scenario`: the first
+    violation raises :class:`SweepError` with a JSON-pointer path (base
+    scenario errors are re-rooted under ``/base``).
+    """
+    try:
+        return _validate_sweep(data, name)
+    except SweepError:
+        raise
+    except ScenarioError as exc:  # shared field validators raise the base type
+        raise SweepError(exc.path, exc.reason) from None
+
+
+def _validate_sweep(data: Any, name: Optional[str]) -> Dict[str, Any]:
+    data = _expect_mapping(data, "/")
+    unknown = [k for k in data if k not in _TOP_LEVEL_KEYS]
+    if unknown:
+        raise SweepError(f"/{unknown[0]}", "unknown top-level key")
+
+    if "schema_version" not in data:
+        raise SweepError("/schema_version", "missing required key")
+    version = data["schema_version"]
+    if not _is_int(version):
+        raise SweepError("/schema_version", f"expected an integer, got {_type_name(version)}")
+    if version != SWEEP_VERSION:
+        raise SweepError(
+            "/schema_version",
+            f"unsupported sweep version {version} (this build understands {SWEEP_VERSION})",
+        )
+
+    out: Dict[str, Any] = {"schema_version": SWEEP_VERSION}
+    out["name"] = _expect_str(data["name"], "/name") if "name" in data else (name or "sweep")
+
+    if "base" not in data:
+        raise SweepError("/base", "missing required key")
+    try:
+        out["base"] = validate_scenario(data["base"], name=f"{out['name']}-base")
+    except ScenarioError as exc:
+        pointer = "" if exc.path == "/" else exc.path
+        raise SweepError(f"/base{pointer}", exc.reason) from None
+
+    axes_in = data.get("axes", {})
+    axes = _expect_mapping(axes_in, "/axes") if axes_in is not None else {}
+    out_axes: Dict[str, List[Any]] = {}
+    for key, values in axes.items():
+        a_path = f"/axes/{key}"
+        if not key or not isinstance(key, str):
+            raise SweepError("/axes", f"axis paths must be non-empty strings, got {key!r}")
+        if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+            raise SweepError(a_path, f"expected a list of values, got {_type_name(values)}")
+        if len(values) == 0:
+            raise SweepError(a_path, "an axis needs at least one value")
+        out_axes[str(key)] = [copy.deepcopy(v) for v in values]
+    out["axes"] = out_axes
+
+    points_in = data.get("points", [])
+    if points_in is None:
+        points_in = []
+    if not isinstance(points_in, Sequence) or isinstance(points_in, (str, bytes)):
+        raise SweepError("/points", f"expected a list, got {_type_name(points_in)}")
+    out_points: List[Dict[str, Any]] = []
+    for i, overrides in enumerate(points_in):
+        p_path = f"/points/{i}"
+        overrides = _expect_mapping(overrides, p_path)
+        if not overrides:
+            raise SweepError(p_path, "an explicit point needs at least one override")
+        out_points.append({str(k): copy.deepcopy(v) for k, v in overrides.items()})
+    out["points"] = out_points
+
+    if not out_axes and not out_points:
+        raise SweepError("/axes", "a sweep needs at least one axis or explicit point")
+
+    out["scheduler"] = _validate_scheduler(data.get("scheduler", {}), "/scheduler")
+    return out
+
+
+def _slug(value: Any) -> str:
+    """A filesystem-safe token describing one override value."""
+    if isinstance(value, Mapping):
+        value = value.get("algorithm") or value.get("name") or "obj"
+    elif isinstance(value, (list, tuple)):
+        value = "x".join(str(v) for v in value[:3])
+    elif isinstance(value, bool):
+        value = "true" if value else "false"
+    token = re.sub(r"[^A-Za-z0-9._-]+", "-", str(value)).strip("-.")
+    return token or "v"
+
+
+def point_id(index: int, overrides: Mapping[str, Any]) -> str:
+    """Deterministic, human-readable, filesystem-safe id for a sweep point.
+
+    The zero-padded index prefix guarantees uniqueness even when two points'
+    override slugs collide (e.g. long values truncated at 72 characters).
+    """
+    parts = [f"{_slug(path.split('.')[-1])}-{_slug(value)}" for path, value in overrides.items()]
+    label = "-".join(parts)[:72].rstrip("-.")
+    return f"{index:03d}-{label}" if label else f"{index:03d}"
+
+
+@dataclass
+class SweepPoint:
+    """One expanded point: its overrides and the resulting scenario.
+
+    ``scenario`` is ``None`` (with ``error`` set) when the overrides produced
+    an invalid scenario — recorded in the manifest as ``status: "invalid"``
+    instead of poisoning the whole sweep.
+    """
+
+    index: int
+    point_id: str
+    overrides: Dict[str, Any]
+    scenario: Optional[Scenario]
+    error: Optional[str] = None
+
+
+class SweepSpec:
+    """A validated, normalized sweep spec (see :func:`validate_sweep`)."""
+
+    def __init__(self, data: Mapping[str, Any], *, name: Optional[str] = None) -> None:
+        self._data = validate_sweep(data, name=name)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, name: Optional[str] = None) -> "SweepSpec":
+        """Validate a plain mapping into a sweep spec."""
+        return cls(data, name=name)
+
+    @classmethod
+    def from_json(cls, text: str, *, name: Optional[str] = None) -> "SweepSpec":
+        """Parse a JSON document into a sweep spec."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepError("/", f"invalid JSON: {exc}") from None
+        return cls(data, name=name)
+
+    @classmethod
+    def from_toml(cls, text: str, *, name: Optional[str] = None) -> "SweepSpec":
+        """Parse a TOML document into a sweep spec."""
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SweepError("/", f"invalid TOML: {exc}") from None
+        return cls(data, name=name)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "SweepSpec":
+        """Load a sweep spec from a ``.json`` or ``.toml`` file."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            return cls.from_toml(text, name=path.stem)
+        return cls.from_json(text, name=path.stem)
+
+    @staticmethod
+    def coerce(value: Union["SweepSpec", Mapping[str, Any], str, Path]) -> "SweepSpec":
+        """Accept a spec, a raw mapping, or a path to a spec file."""
+        if isinstance(value, SweepSpec):
+            return value
+        if isinstance(value, (str, Path)):
+            return SweepSpec.from_file(value)
+        return SweepSpec.from_dict(value)
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Sweep name (defaults to the source file stem)."""
+        return self._data["name"]
+
+    @property
+    def base(self) -> Scenario:
+        """The base scenario every point is derived from."""
+        return Scenario.from_dict(self._data["base"])
+
+    @property
+    def axes(self) -> Dict[str, List[Any]]:
+        """The cartesian axes (dotted path -> values, declaration order)."""
+        return copy.deepcopy(self._data["axes"])
+
+    @property
+    def scheduler_spec(self) -> Dict[str, Any]:
+        """The ``scheduler`` section with defaults materialized."""
+        return copy.deepcopy(self._data["scheduler"])
+
+    @property
+    def n_points(self) -> int:
+        """Number of points the spec expands into."""
+        n = 1
+        for values in self._data["axes"].values():
+            n *= len(values)
+        if not self._data["axes"]:
+            n = 0
+        return n + len(self._data["points"])
+
+    # -- expansion ------------------------------------------------------------
+    def expand(self, strict: bool = True) -> List[SweepPoint]:
+        """Deterministically expand into the full point list.
+
+        Cartesian axes first (declaration order, last axis fastest), then
+        the explicit ``points``.  With ``strict=True`` an override set that
+        fails scenario validation raises; otherwise the point is returned
+        with ``scenario=None`` and the error message, so the sweep runner can
+        record it and carry on (fault injection, CI failure drills).
+        """
+        base = self._data["base"]
+        combos: List[Dict[str, Any]] = []
+        axes = self._data["axes"]
+        if axes:
+            keys = list(axes)
+            for values in itertools.product(*(axes[k] for k in keys)):
+                combos.append(dict(zip(keys, values)))
+        n_axis_combos = len(combos)
+        combos.extend(dict(p) for p in self._data["points"])
+
+        points: List[SweepPoint] = []
+        for i, overrides in enumerate(combos):
+            pid = point_id(i, overrides)
+            data = copy.deepcopy(base)
+            data["name"] = f"{self.name}-{pid}"
+            try:
+                for path, value in overrides.items():
+                    set_by_path(data, path, value)
+                scenario: Optional[Scenario] = Scenario.from_dict(data)
+                error: Optional[str] = None
+            except ScenarioError as exc:
+                if strict:
+                    # Attribute the failure to where the user wrote it: an
+                    # axis-generated combo points at /axes, an explicit
+                    # point at its own /points index.
+                    pointer = (
+                        "/axes" if i < n_axis_combos else f"/points/{i - n_axis_combos}"
+                    )
+                    raise SweepError(pointer, f"invalid point {pid!r}: {exc}") from None
+                scenario, error = None, str(exc)
+            points.append(SweepPoint(i, pid, dict(overrides), scenario, error))
+        return points
+
+    # -- serialization --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The normalized spec as a plain dict (deep copy)."""
+        return copy.deepcopy(self._data)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The normalized spec as a JSON document."""
+        return json.dumps(self._data, indent=indent, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the normalized spec to ``path`` as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    # -- identity -------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SweepSpec):
+            return self._data == other._data
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"SweepSpec(name={self.name!r}, n_points={self.n_points})"
+
+
+def load_spec_file(path: Union[str, Path]) -> Union[Scenario, SweepSpec]:
+    """Load either a scenario or a sweep spec, detected by shape.
+
+    A document with a ``base`` or ``axes`` top-level key is a sweep spec;
+    anything else is a plain scenario.  Used by ``python -m repro validate``
+    so shipped sweep specs live next to scenarios under
+    ``examples/scenarios/``.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            raw = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError("/", f"invalid TOML: {exc}") from None
+    else:
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError("/", f"invalid JSON: {exc}") from None
+    if isinstance(raw, Mapping) and ("base" in raw or "axes" in raw):
+        return SweepSpec.from_dict(raw, name=path.stem)
+    return Scenario.from_dict(raw, name=path.stem)
+
+
+# ---------------------------------------------------------------------------
+# Sweep execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`run_sweep`."""
+
+    spec: SweepSpec
+    sweep_dir: Path
+    points: List[SweepPoint]
+    outcomes: Dict[str, StudyOutcome]
+    manifest: Dict[str, Any]
+    comparison: Dict[str, Any]
+
+    @property
+    def status(self) -> str:
+        """``"complete"`` when every point finished, else ``"partial"``."""
+        return self.manifest["status"]
+
+    @property
+    def n_failed(self) -> int:
+        """Points that failed at runtime or were invalid at expansion."""
+        return sum(1 for p in self.manifest["points"] if p["status"] in ("failed", "invalid"))
+
+    def result_for(self, point_id: str) -> Optional[StudyResult]:
+        """The :class:`StudyResult` of one completed point (``None`` if not)."""
+        outcome = self.outcomes.get(point_id)
+        return outcome.result if outcome is not None else None
+
+
+def _manifest_entries(points: Sequence[SweepPoint]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "point_id": p.point_id,
+            "overrides": copy.deepcopy(p.overrides),
+            "run_dir": f"{POINTS_DIR}/{p.point_id}",
+            "status": "invalid" if p.error is not None else "pending",
+            "error": p.error,
+        }
+        for p in points
+    ]
+
+
+def _write_manifest(
+    sweep_path: Path, spec: SweepSpec, entries: Sequence[Mapping[str, Any]], status: str
+) -> Dict[str, Any]:
+    n_complete = sum(1 for e in entries if e["status"] == "complete")
+    n_failed = sum(1 for e in entries if e["status"] in ("failed", "invalid"))
+    manifest = {
+        "sweep_dir_version": SWEEP_DIR_VERSION,
+        "name": spec.name,
+        "status": status,
+        "n_points": len(entries),
+        "n_complete": n_complete,
+        "n_failed": n_failed,
+        "spec": spec.to_dict(),
+        "points": [dict(e) for e in entries],
+    }
+    sweep_path.mkdir(parents=True, exist_ok=True)
+    tmp = sweep_path / (SWEEP_FILE + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    tmp.replace(sweep_path / SWEEP_FILE)
+    return manifest
+
+
+def load_manifest(sweep_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Read and version-check a sweep directory's ``sweep.json``."""
+    path = Path(sweep_dir) / SWEEP_FILE
+    if not path.exists():
+        raise FileNotFoundError(f"{sweep_dir} is not a sweep directory (no {SWEEP_FILE})")
+    manifest = json.loads(path.read_text())
+    version = int(manifest.get("sweep_dir_version", -1))
+    if version != SWEEP_DIR_VERSION:
+        raise ValueError(
+            f"unsupported sweep-dir version {version} in {sweep_dir} "
+            f"(this build understands {SWEEP_DIR_VERSION})"
+        )
+    return manifest
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Mapping[str, Any], str, Path],
+    sweep_dir: Union[str, Path],
+    *,
+    evaluate=None,
+    runner=None,
+    max_concurrent: Optional[int] = None,
+    worker_budget: Optional[int] = None,
+    policy: Optional[str] = None,
+    resume: bool = False,
+    force: bool = False,
+) -> SweepResult:
+    """Expand a sweep spec and run every point through the scheduler.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SweepSpec`, raw mapping, or path to a spec file.
+    sweep_dir:
+        The sweep directory (created).  An existing ``sweep.json`` is
+        refused unless ``resume`` or ``force`` is set.
+    evaluate / runner:
+        Host bindings applied to *every* point (a shared runner lets all
+        device points reuse one simulation cache, as accuracy is
+        device-independent).
+    max_concurrent / worker_budget / policy:
+        Override the spec's ``scheduler`` section.
+    resume:
+        Reload points whose run dirs are already complete, resume
+        checkpointed ones, and run only the rest.  The spec must match the
+        manifest's (same expansion, same points).
+    """
+    spec = SweepSpec.coerce(spec)
+    sweep_path = Path(sweep_dir)
+    manifest_path = sweep_path / SWEEP_FILE
+    if manifest_path.exists():
+        existing = load_manifest(sweep_path)
+        if resume:
+            stored = SweepSpec.from_dict(existing["spec"])
+            if stored != spec:
+                raise SweepError(
+                    "/",
+                    f"sweep spec does not match the manifest in {sweep_path} "
+                    "(expansion would differ); refusing to resume",
+                )
+        elif not force:
+            raise SweepError(
+                "/",
+                f"{sweep_path} already holds a sweep (pass force=True to overwrite, "
+                "or resume=True to continue it)",
+            )
+
+    scheduler_spec = spec.scheduler_spec
+    scheduler = StudyScheduler(
+        max_concurrent_studies=(
+            scheduler_spec["max_concurrent_studies"] if max_concurrent is None else max_concurrent
+        ),
+        worker_budget=(
+            scheduler_spec["worker_budget"] if worker_budget is None else worker_budget
+        ),
+        policy=scheduler_spec["policy"] if policy is None else policy,
+    )
+
+    points = spec.expand(strict=False)
+    entries = _manifest_entries(points)
+    by_id = {e["point_id"]: e for e in entries}
+    submissions = [
+        StudySubmission(
+            key=p.point_id,
+            scenario=p.scenario,
+            run_dir=sweep_path / POINTS_DIR / p.point_id,
+            tenant=spec.name,
+            resume=resume,
+            evaluate=evaluate,
+            runner=runner,
+        )
+        for p in points
+        if p.scenario is not None
+    ]
+    _write_manifest(sweep_path, spec, entries, status="running")
+
+    def on_outcome(outcome: StudyOutcome) -> None:
+        entry = by_id[outcome.key]
+        entry["status"] = outcome.status
+        entry["error"] = outcome.error
+        # Manifest progress is durable: a killed sweep resumes from what the
+        # file says, not from anything in memory.
+        _write_manifest(sweep_path, spec, entries, status="running")
+
+    outcome_list = scheduler.run(submissions, on_outcome=on_outcome)
+    outcomes = {o.key: o for o in outcome_list}
+    status = "complete" if all(e["status"] == "complete" for e in entries) else "partial"
+    manifest = _write_manifest(sweep_path, spec, entries, status=status)
+    comparison = build_comparison(sweep_path)
+    return SweepResult(
+        spec=spec,
+        sweep_dir=sweep_path,
+        points=points,
+        outcomes=outcomes,
+        manifest=manifest,
+        comparison=comparison,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-run comparison report
+# ---------------------------------------------------------------------------
+
+
+def build_comparison(sweep_dir: Union[str, Path], write: bool = True) -> Dict[str, Any]:
+    """Aggregate every completed point into a cross-run comparison report.
+
+    Derived entirely from the persisted artifacts (manifest + per-point run
+    dirs), so it can be recomputed at any time (``python -m repro
+    sweep-report``).  For 2-objective sweeps a *shared* canonical reference
+    point (worst observed corner across all fronts, scaled like the engine's)
+    makes hypervolumes and budget-to-quality curves comparable across points.
+    """
+    sweep_path = Path(sweep_dir)
+    manifest = load_manifest(sweep_path)
+
+    loaded: Dict[str, StudyResult] = {}
+    entries: List[Dict[str, Any]] = []
+    for point in manifest["points"]:
+        entry = {
+            "point_id": point["point_id"],
+            "run_dir": point["run_dir"],
+            "overrides": point["overrides"],
+            "status": point["status"],
+            "error": point.get("error"),
+        }
+        if point["status"] == "complete":
+            try:
+                loaded[point["point_id"]] = StudyResult.load(sweep_path / point["run_dir"])
+            except (OSError, ValueError, ScenarioError) as exc:
+                entry["status"] = "unreadable"
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+        entries.append(entry)
+
+    # Shared canonical reference across the union of all final fronts.
+    reference: Optional[List[float]] = None
+    fronts: Dict[str, np.ndarray] = {}
+    for pid, result in loaded.items():
+        if len(result.objectives) == 2 and result.pareto:
+            fronts[pid] = result.objectives.to_canonical(result.pareto_matrix())
+    if fronts:
+        stacked = np.vstack(list(fronts.values()))
+        worst = stacked.max(axis=0)
+        # Slightly *worse* than the worst observed canonical value in each
+        # dimension.  Canonical values of maximized objectives are negative,
+        # so the nudge must be sign-aware (+10% of the magnitude), not a
+        # plain scale — `worst * 1.1` would land on the better side of a
+        # negative worst and zero those points' hypervolume out.
+        reference = [float(x) for x in worst + 0.1 * np.abs(worst) + 1e-9]
+
+    objective_names: List[str] = []
+    for entry in entries:
+        result = loaded.get(entry["point_id"])
+        if result is None:
+            continue
+        if not objective_names:
+            objective_names = list(result.objectives.names)
+        # One parse per point: quality_curve reuses this history below
+        # instead of re-reading history.jsonl.
+        history = result.persisted_history()
+        pareto = apply_constraints(result.scenario, history.pareto_records(feasible_only=True))
+        best: Dict[str, Optional[float]] = {}
+        for objective in result.objectives:
+            record = (
+                min(pareto, key=lambda r: objective.canonical(float(r.metrics[objective.name])))
+                if pareto
+                else None
+            )
+            best[objective.name] = (
+                None if record is None else float(record.metrics[objective.name])
+            )
+        entry.update(
+            {
+                "scenario": result.scenario.name,
+                "algorithm": result.scenario.search_spec["algorithm"],
+                "seed": result.scenario.seed,
+                "n_evaluations": len(history),
+                "n_feasible": history.n_feasible(),
+                "n_pareto": len(pareto),
+                "best": best,
+                "front": [
+                    [float(v) for v in r.objective_values(result.objectives)] for r in pareto
+                ],
+            }
+        )
+        if reference is not None and len(result.objectives) == 2:
+            front = fronts.get(entry["point_id"])
+            entry["hypervolume"] = (
+                float(hypervolume_2d(front, reference)) if front is not None else 0.0
+            )
+            entry["quality_curve"] = result.quality_curve(reference, history=history)
+        else:
+            entry["hypervolume"] = None
+            entry["quality_curve"] = []
+
+    ranked = [e for e in entries if e.get("hypervolume") is not None]
+    ranked.sort(key=lambda e: (-e["hypervolume"], e["point_id"]))
+    # Status and counters reflect what the report could actually read, not
+    # what the manifest last recorded: a point downgraded to "unreadable"
+    # (artifacts deleted/corrupted after the sweep) makes the report partial.
+    n_complete = sum(1 for e in entries if e["status"] == "complete")
+    n_failed = sum(1 for e in entries if e["status"] in ("failed", "invalid", "unreadable"))
+    comparison = {
+        "sweep": manifest["name"],
+        "sweep_dir_version": SWEEP_DIR_VERSION,
+        "status": "complete" if n_complete == len(entries) else "partial",
+        "n_points": len(entries),
+        "n_complete": n_complete,
+        "n_failed": n_failed,
+        "objectives": objective_names,
+        "reference": reference,
+        "points": entries,
+        "ranking": [e["point_id"] for e in ranked],
+    }
+    if write:
+        (sweep_path / COMPARISON_FILE).write_text(
+            json.dumps(comparison, indent=2, sort_keys=True) + "\n"
+        )
+        (sweep_path / COMPARISON_MD_FILE).write_text(format_comparison_md(comparison))
+    return comparison
+
+
+def format_comparison_md(comparison: Mapping[str, Any]) -> str:
+    """The comparison report as a Markdown document (``comparison.md``)."""
+    objectives = comparison.get("objectives") or []
+    lines = [
+        f"# Sweep `{comparison['sweep']}` — {comparison['status']}",
+        "",
+        f"{comparison['n_complete']}/{comparison['n_points']} points complete"
+        + (f", {comparison['n_failed']} failed/invalid" if comparison["n_failed"] else "")
+        + ".",
+        "",
+    ]
+    headers = ["point", "status", "evals", "feasible", "pareto", "hypervolume"] + [
+        f"best {name}" for name in objectives
+    ]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    for entry in comparison["points"]:
+        hv = entry.get("hypervolume")
+        best = entry.get("best", {})
+        row = [
+            f"`{entry['point_id']}`",
+            entry["status"],
+            str(entry.get("n_evaluations", "—")),
+            str(entry.get("n_feasible", "—")),
+            str(entry.get("n_pareto", "—")),
+            "—" if hv is None else f"{hv:.6g}",
+        ] + [
+            "—" if best.get(name) is None else f"{best[name]:.6g}" for name in objectives
+        ]
+        lines.append("| " + " | ".join(row) + " |")
+    failed = [e for e in comparison["points"] if e["status"] in ("failed", "invalid", "unreadable")]
+    if failed:
+        lines.append("")
+        lines.append("## Failures")
+        lines.append("")
+        for entry in failed:
+            lines.append(f"* `{entry['point_id']}` ({entry['status']}): {entry.get('error')}")
+    if comparison.get("ranking"):
+        lines.append("")
+        lines.append(
+            "Ranking by hypervolume: " + ", ".join(f"`{p}`" for p in comparison["ranking"])
+        )
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "SWEEP_VERSION",
+    "SWEEP_DIR_VERSION",
+    "SWEEP_FILE",
+    "COMPARISON_FILE",
+    "COMPARISON_MD_FILE",
+    "POINTS_DIR",
+    "SweepError",
+    "validate_sweep",
+    "point_id",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepResult",
+    "load_spec_file",
+    "load_manifest",
+    "run_sweep",
+    "build_comparison",
+    "format_comparison_md",
+]

@@ -5,19 +5,21 @@ Each "installation" runs the default KFusion configuration and the tuned
 both timings to the :class:`~repro.crowd.database.CrowdDatabase`.
 
 Like the search engine's :class:`~repro.core.executor.EvaluationExecutor`,
-the fleet fan-out is batched and optionally concurrent (``n_workers``):
-devices run independently and their uploads land in a deterministic order
-regardless of which device finishes first — exactly the property the real
-crowd experiment relies on when 83 phones report back asynchronously.
+the fleet fan-out is batched and optionally concurrent (``n_workers``),
+running through the scheduler's deterministic fan-out primitive
+(:func:`~repro.core.scheduler.map_ordered`): devices run independently and
+their uploads land in a deterministic order regardless of which device
+finishes first — exactly the property the real crowd experiment relies on
+when 83 phones report back asynchronously.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.scheduler import map_ordered
 from repro.crowd.database import CrowdDatabase, CrowdRecord
 from repro.devices.model import DeviceModel
 from repro.slambench.runner import SlamBenchRunner, SlamRunRecord
@@ -93,18 +95,11 @@ def run_crowd_experiment(
         # Extra-config metrics are only ever read by the upload branch.
         extra_records = {}
 
-    if n_workers > 1 and len(devices) > 1:
-        with concurrent.futures.ThreadPoolExecutor(max_workers=n_workers) as pool:
-            per_device = list(
-                pool.map(
-                    lambda d: _device_app_run(d, default_record, tuned_record, extra_records),
-                    devices,
-                )
-            )
-    else:
-        per_device = [
-            _device_app_run(d, default_record, tuned_record, extra_records) for d in devices
-        ]
+    per_device = map_ordered(
+        lambda d: _device_app_run(d, default_record, tuned_record, extra_records),
+        devices,
+        max_concurrent=n_workers,
+    )
 
     runs: List[CrowdAppRun] = []
     for device, (default_metrics, tuned_metrics, extra_metrics) in zip(devices, per_device):

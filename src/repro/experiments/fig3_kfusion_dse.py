@@ -18,7 +18,7 @@ runner injected so consecutive platforms share one simulation cache.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.objectives import ObjectiveSet
 from repro.core.study import Study, StudyResult
@@ -75,6 +75,61 @@ def fig3_scenario(
         "executor": executor_spec(scale, n_workers, overlap_fraction),
         "seed": derive_seed(seed, "fig3", platform),
     }
+
+
+def fig3_sweep_spec(
+    platforms: Sequence[str] = ("odroid-xu3", "asus-t200ta"),
+    scale: ExperimentScale = SMALL,
+    seed: int = 7,
+    accuracy_limit_m: float = ACCURACY_LIMIT_M,
+    max_concurrent: int = 2,
+) -> Dict[str, object]:
+    """The whole Fig. 3 campaign as one sweep spec (JSON-serializable).
+
+    One base scenario plus an explicit point per platform, each overriding
+    ``evaluator.device`` and ``seed`` exactly as the historical per-platform
+    ``run_fig3`` calls did — so every sweep point's history is bit-identical
+    to the corresponding standalone run.
+    """
+    return {
+        "schema_version": 1,
+        "name": "fig3-kfusion-sweep",
+        "scheduler": {"max_concurrent_studies": max_concurrent},
+        "base": fig3_scenario(platforms[0], scale, seed, accuracy_limit_m),
+        "points": [
+            {"evaluator.device": platform, "seed": derive_seed(seed, "fig3", platform)}
+            for platform in platforms
+        ],
+    }
+
+
+def run_fig3_device_sweep(
+    sweep_dir: str,
+    platforms: Sequence[str] = ("odroid-xu3", "asus-t200ta"),
+    scale: ExperimentScale = SMALL,
+    seed: int = 7,
+    runner: Optional[SlamBenchRunner] = None,
+    accuracy_limit_m: float = ACCURACY_LIMIT_M,
+    max_concurrent: Optional[int] = None,
+    resume: bool = False,
+):
+    """Run the Fig. 3 exploration on every platform through one sweep.
+
+    The shared ``runner`` (built once when not supplied) lets all device
+    points reuse the same simulation cache — accuracy is device-independent,
+    only the runtime model differs — mirroring how the historical code
+    passed one runner to consecutive ``run_fig3`` calls.  Returns the
+    :class:`~repro.core.sweep.SweepResult`; the cross-run comparison
+    (fronts, hypervolumes, budget-to-quality curves) lands in
+    ``<sweep_dir>/comparison.json``.
+    """
+    from repro.core.sweep import run_sweep
+
+    runner = runner if runner is not None else make_runner("kfusion", scale, dataset_seed=seed)
+    spec = fig3_sweep_spec(platforms, scale, seed, accuracy_limit_m)
+    return run_sweep(
+        spec, sweep_dir, runner=runner, max_concurrent=max_concurrent, resume=resume
+    )
 
 
 def run_fig3(
@@ -201,4 +256,10 @@ def format_fig3(result: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["fig3_scenario", "run_fig3", "format_fig3"]
+__all__ = [
+    "fig3_scenario",
+    "fig3_sweep_spec",
+    "run_fig3",
+    "run_fig3_device_sweep",
+    "format_fig3",
+]

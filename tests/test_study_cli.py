@@ -390,13 +390,30 @@ class TestCLI:
 
     def test_run_reports_runtime_value_errors_cleanly(self, tmp_path, capsys):
         # Validates (budget >= 1) but fails in BanditSearch.run: budget is
-        # smaller than the default batch_size.  Must be a CLI error, not a
-        # traceback.
+        # smaller than the default batch_size.  A *failed run* is exit code
+        # 1 (the spec was usable; the work failed), never a traceback.
         scenario = self.scenario_path(
             tmp_path, search={"algorithm": "bandit", "budget": 4}, name="bandit-bad"
         )
-        assert cli_main(["run", str(scenario), "--run-dir", str(tmp_path / "r")]) == 2
+        assert cli_main(["run", str(scenario), "--run-dir", str(tmp_path / "r")]) == 1
         assert "batch_size" in capsys.readouterr().err
+
+    def test_run_invalid_scenario_is_a_usage_error(self, tmp_path, capsys):
+        # Satellite: validation errors are exit code 2, consistently.
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 1, "evaluator": {"type": "nope"}}))
+        assert cli_main(["run", str(bad)]) == 2
+        assert "/evaluator/type" in capsys.readouterr().err
+        # Same spec through validate: same exit code.
+        assert cli_main(["validate", str(bad)]) == 2
+
+    def test_resume_missing_run_dir_is_a_usage_error(self, tmp_path, capsys):
+        assert cli_main(["resume", str(tmp_path / "nowhere")]) == 2
+        assert "not a study run directory" in capsys.readouterr().err
+        # A directory that exists but holds no run is the same error.
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert cli_main(["resume", str(empty)]) == 2
 
     def test_default_run_dir_sanitizes_scenario_name(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)
@@ -416,7 +433,9 @@ class TestCLI:
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"schema_version": 1, "evaluator": {"type": "nope"}}))
         assert cli_main(["validate", str(good)]) == 0
-        assert cli_main(["validate", str(good), str(bad)]) == 1
+        # Validation failures are exit code 2 — the same code `run` gives an
+        # unusable spec — so shell scripts see one consistent contract.
+        assert cli_main(["validate", str(good), str(bad)]) == 2
         err = capsys.readouterr().err
         assert "/evaluator/type" in err
 
