@@ -27,9 +27,11 @@ Subcommands
 Exit codes (consistent across subcommands)
 ------------------------------------------
 * ``0`` — success.
-* ``1`` — the work itself failed: a run crashed at runtime, or a sweep
-  finished *partial* (some points failed — the rest of their siblings'
-  artifacts are intact and reported).
+* ``1`` — the work itself failed: a run crashed at runtime, a run or sweep
+  finished *degraded* (faulty configurations were quarantined with penalty
+  metrics — artifacts are complete and the exit code is the only alarm), or
+  a sweep finished *partial* (some points failed — the rest of their
+  siblings' artifacts are intact and reported).
 * ``2`` — the input could not be used: validation errors, unknown plugins,
   missing files/directories, refusing to clobber an existing run.
 """
@@ -130,6 +132,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return EXIT_FAILED
     if not args.quiet:
         _print_report(result)
+    return _degraded_exit(result)
+
+
+def _degraded_exit(result) -> int:
+    """Exit code for a finished study: degraded runs completed, but some
+    configurations were quarantined with penalty metrics — surface that to
+    scripts the same way a partial sweep is surfaced."""
+    if result.is_degraded:
+        faults = result.fault_summary()
+        print(
+            f"warning: run degraded ({faults['n_quarantined']} of "
+            f"{faults['n_affected']} faulty configurations quarantined; "
+            "see 'attempts' entries in history.jsonl)",
+            file=sys.stderr,
+        )
+        return EXIT_FAILED
     return EXIT_OK
 
 
@@ -147,7 +165,7 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         return EXIT_FAILED
     if not args.quiet:
         _print_report(result)
-    return EXIT_OK
+    return _degraded_exit(result)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -179,6 +197,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return EXIT_FAILED
     if not args.quiet:
         _print_sweep(result.comparison, sweep_dir)
+    if result.status == "degraded":
+        n_degraded = sum(
+            1 for p in result.manifest["points"] if p["status"] == "degraded"
+        )
+        print(
+            f"warning: sweep finished degraded ({n_degraded} of "
+            f"{result.manifest['n_points']} points quarantined faulty "
+            f"configurations; see {sweep_dir / 'sweep.json'})",
+            file=sys.stderr,
+        )
+        return EXIT_FAILED
     if result.status != "complete":
         print(
             f"error: sweep finished partial ({result.n_failed} of "

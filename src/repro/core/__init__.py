@@ -45,6 +45,17 @@ from repro.core.evaluator import (
     EvaluationBudgetExceeded,
 )
 from repro.core.executor import EvalFuture, EvaluationExecutor, as_executor
+from repro.core.faults import (
+    FAULT_KINDS,
+    EvaluationFault,
+    EvaluationTimeout,
+    WorkerCrash,
+    EvaluatorError,
+    InvalidResult,
+    FaultPolicy,
+    FaultInjectingEvaluator,
+    summarize_faults,
+)
 from repro.core.history import EvaluationRecord, History
 from repro.core.sampling import RandomSampler, LatinHypercubeSampler, GridSampler, EncodedPool
 from repro.core.constraints import Constraint, BoundConstraint, ConstraintSet
@@ -89,6 +100,7 @@ from repro.core.scheduler import (
     StudyScheduler,
     StudySubmission,
     StudyOutcome,
+    MapOrderedError,
     map_ordered,
 )
 from repro.core.sweep import (
@@ -143,6 +155,15 @@ __all__ = [
     "EvalFuture",
     "EvaluationExecutor",
     "as_executor",
+    "FAULT_KINDS",
+    "EvaluationFault",
+    "EvaluationTimeout",
+    "WorkerCrash",
+    "EvaluatorError",
+    "InvalidResult",
+    "FaultPolicy",
+    "FaultInjectingEvaluator",
+    "summarize_faults",
     "EvaluationRecord",
     "History",
     "RandomSampler",
@@ -187,6 +208,7 @@ __all__ = [
     "StudyScheduler",
     "StudySubmission",
     "StudyOutcome",
+    "MapOrderedError",
     "map_ordered",
     "SWEEP_VERSION",
     "SWEEP_DIR_VERSION",

@@ -346,8 +346,8 @@ class SearchDriver:
         if boot_configs:
             futures, accepted = self.executor.submit(boot_configs)
             metrics = self.executor.gather(futures)
-            for c, m in zip(boot_configs[:accepted], metrics):
-                self._emit(history.add(c, m, source=self.bootstrap_source, iteration=0))
+            for f, (c, m) in zip(futures, zip(boot_configs[:accepted], metrics)):
+                self._emit(history.add(c, m, source=self.bootstrap_source, iteration=0, attempts=f.attempts))
             budget_stop = accepted < len(boot_configs)
 
         # --- Phase 2: configuration pool ----------------------------------------
@@ -437,8 +437,8 @@ class SearchDriver:
                 n_wait = min(max(int(math.ceil(self.overlap_fraction * accepted)), 1), accepted)
             results = self.executor.gather(futures, count=n_wait)
             new_records: List[EvaluationRecord] = []
-            for c, m in zip(configs[:n_wait], results):
-                record = state.history.add(c, m, source=source, iteration=iter_tag)
+            for f, (c, m) in zip(futures, zip(configs[:n_wait], results)):
+                record = state.history.add(c, m, source=source, iteration=iter_tag, attempts=f.attempts)
                 state.register(record)
                 self._emit(record)
                 new_records.append(record)
@@ -490,7 +490,7 @@ class SearchDriver:
             return 0
         self.executor.gather([p.future for p in pending])
         for p in pending:
-            record = state.history.add(p.config, p.future.result(), source=p.source, iteration=p.iteration)
+            record = state.history.add(p.config, p.future.result(), source=p.source, iteration=p.iteration, attempts=p.future.attempts)
             state.register(record)
             self._emit(record)
         n_drained = len(pending)

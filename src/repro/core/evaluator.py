@@ -187,6 +187,16 @@ class WorkerPoolLifecycle:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    def __del__(self) -> None:
+        # Last-resort guard against leaked worker pools when an exception
+        # escapes submit/gather/evaluate and the owner never calls close()
+        # (e.g. a crashed study).  Owners should still close deterministically
+        # — Study.run does, in a finally block — this only stops a dropped
+        # executor from pinning worker processes for the interpreter's life.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
 
 class ParallelEvaluator(WorkerPoolLifecycle, Evaluator):
     """Evaluator that fans evaluations out over a thread or process pool.

@@ -23,12 +23,20 @@ dominate the wall clock, run concurrently, and finish out of order.  The
 Results are always gathered in submission order, so a deterministic
 evaluation function produces a bit-identical
 :class:`~repro.core.history.History` regardless of worker count.
+
+Fault tolerance is layered in through an optional
+:class:`~repro.core.faults.FaultPolicy`: evaluations are retried with seeded
+backoff, classified against the failure taxonomy, quarantined with penalty
+metrics when they keep failing, and — for the process backend — recovered
+from worker-pool death by respawning the pool and resubmitting the lost
+in-flight work.  Exceptions that do escape are wrapped with the offending
+configuration's identity so failures are attributable at a glance.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.evaluator import (
     EvaluationBudgetExceeded,
@@ -37,6 +45,15 @@ from repro.core.evaluator import (
     FunctionEvaluator,
     MetricDict,
     WorkerPoolLifecycle,
+)
+from repro.core.faults import (
+    KIND_CRASH,
+    EvaluationFault,
+    FaultPolicy,
+    WorkerCrash,
+    call_with_policy,
+    config_identity,
+    wrap_failure,
 )
 from repro.core.objectives import ObjectiveSet
 from repro.core.space import Configuration
@@ -52,10 +69,13 @@ class EvalFuture:
 
     ``fresh`` records whether this future consumed budget at submission time
     (i.e. it was neither a cache hit nor a duplicate of an in-flight
-    evaluation).
+    evaluation).  ``attempts`` carries structured fault metadata when a
+    policy retried or quarantined the evaluation; it is attached only to the
+    fresh future of a configuration (never to cache-hit or in-flight
+    duplicates), which keeps it identical across worker counts.
     """
 
-    __slots__ = ("config", "fresh", "_result", "_cf")
+    __slots__ = ("config", "fresh", "attempts", "_result", "_cf", "_error", "_crashes")
 
     def __init__(
         self,
@@ -63,11 +83,15 @@ class EvalFuture:
         fresh: bool,
         result: Optional[MetricDict] = None,
         cf: Optional[concurrent.futures.Future] = None,
+        attempts: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         self.config = config
         self.fresh = fresh
+        self.attempts = attempts
         self._result = result
         self._cf = cf
+        self._error: Optional[BaseException] = None
+        self._crashes = 0
 
     def done(self) -> bool:
         """Whether the result is available without blocking."""
@@ -75,9 +99,19 @@ class EvalFuture:
 
     def result(self) -> MetricDict:
         """Block until the evaluation finishes and return its metrics."""
+        if self._error is not None:
+            raise self._error
         if self._result is None:
             assert self._cf is not None
-            self._result = self._cf.result()
+            out = self._cf.result()
+            if type(out) is tuple:
+                # Policy-wrapped submissions return (metrics, attempts).
+                metrics, attempts = out
+                if self.fresh and attempts:
+                    self.attempts = (self.attempts or []) + [dict(a) for a in attempts]
+                self._result = metrics
+            else:
+                self._result = out
             self._cf = None
         return self._result
 
@@ -106,6 +140,13 @@ class EvaluationExecutor(WorkerPoolLifecycle):
     cache:
         Memoize results by configuration (on by default, mirroring the old
         ``CachedEvaluator`` wrapping).
+    fault_policy:
+        Optional :class:`~repro.core.faults.FaultPolicy`.  ``None`` (default)
+        preserves the historical fail-fast behaviour bit-for-bit; a policy
+        turns on retries, timeout classification, quarantine, and
+        worker-crash recovery.  Retries re-invoke the wrapped evaluator, so
+        an inner evaluator's own ``max_evaluations`` counter (when set) is
+        consumed per *attempt*.
     """
 
     def __init__(
@@ -117,6 +158,7 @@ class EvaluationExecutor(WorkerPoolLifecycle):
         backend: str = "thread",
         max_evaluations: Optional[int] = None,
         cache: bool = True,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         if isinstance(evaluator, Evaluator):
             self._inner = evaluator
@@ -132,6 +174,7 @@ class EvaluationExecutor(WorkerPoolLifecycle):
         if max_evaluations is None:
             max_evaluations = getattr(self._inner, "max_evaluations", None)
         self.max_evaluations = max_evaluations
+        self.fault_policy = fault_policy
         self._use_cache = bool(cache)
         self._cache: Dict[Configuration, MetricDict] = {}
         self._inflight: Dict[Configuration, EvalFuture] = {}
@@ -180,6 +223,21 @@ class EvaluationExecutor(WorkerPoolLifecycle):
     def _evaluate_one(self, config: Configuration) -> MetricDict:
         return _call_evaluator(self._inner, config)
 
+    def _evaluate_inline(
+        self, config: Configuration
+    ) -> Tuple[MetricDict, Optional[List[Dict[str, Any]]]]:
+        """Serial-path evaluation: apply the fault policy, attribute failures."""
+        try:
+            if self.fault_policy is not None:
+                return call_with_policy(self._inner, config, self.fault_policy)
+            return _call_evaluator(self._inner, config), None
+        except (EvaluationBudgetExceeded, EvaluationFault):
+            # Budget exhaustion is control flow; policy faults already carry
+            # the configuration identity.
+            raise
+        except Exception as exc:
+            raise wrap_failure(config, exc) from exc
+
     def submit(self, configs: Sequence[Configuration]) -> Tuple[List[EvalFuture], int]:
         """Submit a batch, returning ``(futures, n_accepted)``.
 
@@ -206,24 +264,30 @@ class EvaluationExecutor(WorkerPoolLifecycle):
                 break
             self._planned += 1
             if self.n_workers == 1:
-                metrics = self._evaluate_one(config)
+                metrics, attempts = self._evaluate_inline(config)
                 if self._use_cache:
                     self._cache[config] = metrics
-                future = EvalFuture(config, fresh=True, result=metrics)
+                future = EvalFuture(config, fresh=True, result=metrics, attempts=attempts)
                 # Same-batch duplicates stay free even with the cache
                 # disabled, matching the async path's in-flight dedup (so
                 # budget consumption never depends on the worker count).
                 batch_inflight[config] = future
             else:
-                # The module-level helper keeps the submission picklable for
-                # the process backend (the executor itself — holding the
-                # pool — must never cross the pickle boundary).
-                cf = self._get_pool().submit(_call_evaluator, self._inner, config)
-                future = EvalFuture(config, fresh=True, cf=cf)
+                future = EvalFuture(config, fresh=True, cf=self._submit_async(config))
                 self._inflight[config] = future
                 batch_inflight[config] = future
             futures.append(future)
         return futures, len(futures)
+
+    def _submit_async(self, config: Configuration) -> concurrent.futures.Future:
+        # The module-level helpers keep the submission picklable for the
+        # process backend (the executor itself — holding the pool — must
+        # never cross the pickle boundary).
+        if self.fault_policy is not None:
+            return self._get_pool().submit(
+                call_with_policy, self._inner, config, self.fault_policy
+            )
+        return self._get_pool().submit(_call_evaluator, self._inner, config)
 
     def gather(self, futures: Sequence[EvalFuture], count: Optional[int] = None) -> List[MetricDict]:
         """Resolve the first ``count`` futures (default: all) in submission order.
@@ -236,12 +300,69 @@ class EvaluationExecutor(WorkerPoolLifecycle):
         count = len(futures) if count is None else min(count, len(futures))
         results: List[MetricDict] = []
         for future in futures[:count]:
-            metrics = future.result()
+            metrics = self._resolve(future)
             if self._use_cache:
                 self._cache.setdefault(future.config, metrics)
             self._inflight.pop(future.config, None)
             results.append(metrics)
         return results
+
+    def _resolve(self, future: EvalFuture) -> MetricDict:
+        """Resolve one future, recovering from worker-pool death if needed."""
+        while True:
+            try:
+                return future.result()
+            except EvaluationBudgetExceeded:
+                raise
+            except concurrent.futures.BrokenExecutor as exc:
+                self._recover_from_crash(future, exc)
+            except EvaluationFault:
+                raise
+            except Exception as exc:
+                raise wrap_failure(future.config, exc) from exc
+
+    def _recover_from_crash(
+        self, future: EvalFuture, exc: BaseException
+    ) -> None:
+        """Respawn a dead worker pool and resubmit its lost in-flight work.
+
+        A broken pool kills *every* in-flight evaluation, and which
+        configuration actually took the worker down is unknowable — so each
+        unresolved in-flight future gets a ``crash`` attempt entry (explicitly
+        best-effort attribution) and is resubmitted to a fresh pool, bounded
+        per configuration by ``fault_policy.max_retries`` crash recoveries
+        before quarantine (or, without quarantine/policy, a raised
+        :class:`~repro.core.faults.WorkerCrash` naming the configuration).
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        victims = [f for f in self._inflight.values() if f._result is None and f._error is None]
+        if future not in victims:
+            victims.append(future)
+        for f in victims:
+            f._crashes += 1
+            entry = {
+                "attempt": len(f.attempts or []),
+                "kind": KIND_CRASH,
+                "error": f"worker pool died mid-evaluation: {type(exc).__name__}: {exc}",
+            }
+            f.attempts = (f.attempts or []) + [entry]
+            policy = self.fault_policy
+            retries_left = policy is not None and f._crashes <= policy.max_retries
+            if retries_left:
+                f._cf = self._submit_async(f.config)
+            elif policy is not None and policy.quarantine:
+                f.attempts[-1]["quarantined"] = True
+                f._result = policy.penalty_metrics(self.objectives)
+                f._cf = None
+            else:
+                f._error = WorkerCrash(
+                    f"configuration {config_identity(f.config)} lost to a worker-pool "
+                    f"crash: {type(exc).__name__}: {exc}",
+                    config=f.config,
+                )
+                f._cf = None
 
     # -- synchronous convenience --------------------------------------------------
     def evaluate(self, configs: Sequence[Configuration]) -> List[MetricDict]:

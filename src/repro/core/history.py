@@ -32,25 +32,37 @@ class EvaluationRecord:
         ``"grid"``, ...
     iteration:
         Active-learning iteration index (0 for the bootstrap random phase).
+    attempts:
+        Structured fault metadata (see :mod:`repro.core.faults`): one entry
+        per failed attempt, ``None`` for a clean first-try success — so
+        fault-free histories serialize byte-identically to earlier versions.
     """
 
     config: Configuration
     metrics: Dict[str, float]
     source: str = "random"
     iteration: int = 0
+    attempts: Optional[List[Dict[str, Any]]] = None
 
     def objective_values(self, objectives: ObjectiveSet) -> Tuple[float, ...]:
         """Objective values in declaration order (natural units)."""
         return tuple(float(self.metrics[o.name]) for o in objectives)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict representation (for JSON serialization)."""
-        return {
+        """Plain-dict representation (for JSON serialization).
+
+        ``attempts`` is emitted only when present, keeping fault-free
+        artifacts byte-identical to the pre-fault-tolerance format.
+        """
+        out = {
             "config": self.config.to_dict(),
             "metrics": dict(self.metrics),
             "source": self.source,
             "iteration": self.iteration,
         }
+        if self.attempts is not None:
+            out["attempts"] = [dict(a) for a in self.attempts]
+        return out
 
 
 class History:
@@ -67,9 +79,16 @@ class History:
         metrics: Mapping[str, float],
         source: str = "random",
         iteration: int = 0,
+        attempts: Optional[Sequence[Mapping[str, Any]]] = None,
     ) -> EvaluationRecord:
         """Append a record and return it."""
-        record = EvaluationRecord(config=config, metrics={str(k): float(v) for k, v in metrics.items()}, source=source, iteration=iteration)
+        record = EvaluationRecord(
+            config=config,
+            metrics={str(k): float(v) for k, v in metrics.items()},
+            source=source,
+            iteration=iteration,
+            attempts=None if attempts is None else [dict(a) for a in attempts],
+        )
         self._records.append(record)
         return record
 
@@ -203,12 +222,14 @@ class History:
                     config = Configuration.from_dict(config_dict)
             else:
                 config = Configuration.from_dict(config_dict)
+            attempts = d.get("attempts")
             records.append(
                 EvaluationRecord(
                     config=config,
                     metrics={str(k): float(v) for k, v in d["metrics"].items()},
                     source=str(d.get("source", "random")),
                     iteration=int(d.get("iteration", 0)),
+                    attempts=None if not attempts else [dict(a) for a in attempts],
                 )
             )
         return cls(objectives, records)

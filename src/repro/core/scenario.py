@@ -55,6 +55,7 @@ _TOP_LEVEL_KEYS = (
     "budget",
     "seed",
     "checkpoint",
+    "faults",
 )
 
 
@@ -365,6 +366,91 @@ def _validate_checkpoint(section: Any, path: str) -> Dict[str, Any]:
     return {"every": _expect_int(spec.get("every", 1), f"{path}/every", minimum=1)}
 
 
+_FAULT_KEYS = (
+    "max_retries",
+    "timeout_s",
+    "quarantine",
+    "penalty",
+    "backoff_base_s",
+    "backoff_factor",
+    "backoff_jitter",
+    "backoff_max_s",
+    "inject",
+)
+_INJECT_KEYS = ("seed", "drop_rate", "delay_rate", "delay_s", "corrupt_rate", "crash_rate")
+
+
+def _expect_rate(value: Any, path: str) -> float:
+    rate = _expect_number(value, path)
+    if not 0.0 <= rate <= 1.0:
+        raise ScenarioError(path, f"expected a probability in [0, 1], got {rate}")
+    return float(rate)
+
+
+def _validate_faults(section: Any, path: str) -> Dict[str, Any]:
+    """The optional fault-tolerance section (see :mod:`repro.core.faults`).
+
+    Unlike the always-materialized sections above, ``faults`` appears in the
+    normalized scenario only when the input declared it, so fault-free
+    scenario documents stay byte-identical to earlier versions.
+    """
+    spec = _expect_mapping(section, path)
+    unknown = [k for k in spec if k not in _FAULT_KEYS]
+    if unknown:
+        raise ScenarioError(f"{path}/{unknown[0]}", "unknown key in faults section")
+    out: Dict[str, Any] = {
+        "max_retries": _expect_int(spec.get("max_retries", 0), f"{path}/max_retries", minimum=0),
+        "timeout_s": None,
+        "quarantine": _expect_bool(spec.get("quarantine", True), f"{path}/quarantine"),
+        "penalty": _expect_number(spec.get("penalty", 1e9), f"{path}/penalty"),
+        "backoff_base_s": _expect_number(spec.get("backoff_base_s", 0.0), f"{path}/backoff_base_s"),
+        "backoff_factor": _expect_number(spec.get("backoff_factor", 2.0), f"{path}/backoff_factor"),
+        "backoff_jitter": _expect_number(spec.get("backoff_jitter", 0.0), f"{path}/backoff_jitter"),
+        "backoff_max_s": None,
+        "inject": None,
+    }
+    timeout = spec.get("timeout_s")
+    if timeout is not None:
+        timeout = _expect_number(timeout, f"{path}/timeout_s")
+        if not timeout > 0:
+            raise ScenarioError(f"{path}/timeout_s", "expected a positive number of seconds")
+        out["timeout_s"] = timeout
+    if not out["penalty"] > 0:
+        raise ScenarioError(f"{path}/penalty", "expected a positive penalty magnitude")
+    if out["backoff_base_s"] < 0:
+        raise ScenarioError(f"{path}/backoff_base_s", "expected a non-negative number")
+    if out["backoff_factor"] < 1.0:
+        raise ScenarioError(f"{path}/backoff_factor", "expected a factor >= 1")
+    if out["backoff_jitter"] < 0:
+        raise ScenarioError(f"{path}/backoff_jitter", "expected a non-negative number")
+    backoff_max = spec.get("backoff_max_s")
+    if backoff_max is not None:
+        backoff_max = _expect_number(backoff_max, f"{path}/backoff_max_s")
+        if backoff_max < 0:
+            raise ScenarioError(f"{path}/backoff_max_s", "expected a non-negative number")
+        out["backoff_max_s"] = backoff_max
+    inject = spec.get("inject")
+    if inject is not None:
+        ipath = f"{path}/inject"
+        ispec = _expect_mapping(inject, ipath)
+        unknown = [k for k in ispec if k not in _INJECT_KEYS]
+        if unknown:
+            raise ScenarioError(f"{ipath}/{unknown[0]}", "unknown key in fault-injection section")
+        seed = ispec.get("seed")
+        delay_s = _expect_number(ispec.get("delay_s", 0.0), f"{ipath}/delay_s")
+        if delay_s < 0:
+            raise ScenarioError(f"{ipath}/delay_s", "expected a non-negative number of seconds")
+        out["inject"] = {
+            "seed": None if seed is None else _expect_int(seed, f"{ipath}/seed"),
+            "drop_rate": _expect_rate(ispec.get("drop_rate", 0.0), f"{ipath}/drop_rate"),
+            "delay_rate": _expect_rate(ispec.get("delay_rate", 0.0), f"{ipath}/delay_rate"),
+            "delay_s": delay_s,
+            "corrupt_rate": _expect_rate(ispec.get("corrupt_rate", 0.0), f"{ipath}/corrupt_rate"),
+            "crash_rate": _expect_rate(ispec.get("crash_rate", 0.0), f"{ipath}/crash_rate"),
+        }
+    return out
+
+
 def set_by_path(data: Dict[str, Any], path: str, value: Any) -> None:
     """Set a dotted-path key in a nested scenario mapping (in place).
 
@@ -437,6 +523,8 @@ def validate_scenario(data: Any, name: Optional[str] = None) -> Dict[str, Any]:
     out["executor"] = _validate_executor(data.get("executor", {}), "/executor")
     out["budget"] = _validate_budget(data.get("budget", {}), "/budget")
     out["checkpoint"] = _validate_checkpoint(data.get("checkpoint", {}), "/checkpoint")
+    if data.get("faults") is not None:
+        out["faults"] = _validate_faults(data["faults"], "/faults")
 
     seed = data.get("seed")
     out["seed"] = None if seed is None else _expect_int(seed, "/seed")
@@ -551,6 +639,11 @@ class Scenario:
     def checkpoint_spec(self) -> Dict[str, Any]:
         """The ``checkpoint`` section with defaults materialized."""
         return copy.deepcopy(self._data["checkpoint"])
+
+    @property
+    def faults_spec(self) -> Optional[Dict[str, Any]]:
+        """The ``faults`` section (``None`` when the scenario declares none)."""
+        return copy.deepcopy(self._data.get("faults"))
 
     # -- problem construction -------------------------------------------------
     def build_space(self) -> Optional[DesignSpace]:

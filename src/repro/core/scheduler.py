@@ -28,9 +28,10 @@ study's result.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, TypeVar, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.core.registry import SCHEDULE_POLICY_REGISTRY, register_schedule_policy
 from repro.core.scenario import Scenario
@@ -66,6 +67,23 @@ def fair_share_policy(
     return best
 
 
+class MapOrderedError(RuntimeError):
+    """One or more ``map_ordered`` items failed — after every item ran.
+
+    ``failures`` holds ``(index, exception)`` pairs in item order, so a
+    crowd-fleet caller can see *every* failing device at once instead of
+    losing the in-flight work of the fleet to the first flaky one.
+    """
+
+    def __init__(self, failures: Sequence[Tuple[int, BaseException]], n_items: int) -> None:
+        self.failures: List[Tuple[int, BaseException]] = list(failures)
+        preview = "; ".join(
+            f"item {i}: {type(e).__name__}: {e}" for i, e in self.failures[:3]
+        )
+        more = "" if len(self.failures) <= 3 else f" (+{len(self.failures) - 3} more)"
+        super().__init__(f"{len(self.failures)} of {n_items} items failed: {preview}{more}")
+
+
 def map_ordered(
     fn: Callable[[_T], _R], items: Sequence[_T], *, max_concurrent: int = 1
 ) -> List[_R]:
@@ -75,14 +93,33 @@ def map_ordered(
     fleet: tasks run concurrently but results always come back in submission
     order, so downstream consumers (database uploads, reports) see the same
     sequence as a serial run.  ``max_concurrent <= 1`` is the inline serial
-    path.  The first failing item's exception is re-raised, as in a serial
-    loop.
+    path.
+
+    Failures are *drained, not fail-fast*: every item runs to completion
+    (serial and concurrent paths alike), then a single
+    :class:`MapOrderedError` reports **all** failing items — no in-flight
+    work is abandoned and no failure is shadowed by an earlier one.
     """
     items = list(items)
+    results: List[Optional[_R]] = [None] * len(items)
+    failures: List[Tuple[int, BaseException]] = []
     if max_concurrent <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with concurrent.futures.ThreadPoolExecutor(max_workers=int(max_concurrent)) as pool:
-        return list(pool.map(fn, items))
+        for i, item in enumerate(items):
+            try:
+                results[i] = fn(item)
+            except Exception as exc:  # noqa: BLE001 — collected, then re-raised
+                failures.append((i, exc))
+    else:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=int(max_concurrent)) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result()
+                except Exception as exc:  # noqa: BLE001
+                    failures.append((i, exc))
+    if failures:
+        raise MapOrderedError(failures, len(items))
+    return results
 
 
 @dataclass
@@ -120,10 +157,15 @@ class StudySubmission:
 
 @dataclass
 class StudyOutcome:
-    """What became of one submission (always returned, never raised)."""
+    """What became of one submission (always returned, never raised).
+
+    ``status`` is ``"complete"``, ``"degraded"`` (the study finished but
+    quarantined configurations carry penalty metrics — a usable, second-class
+    result), or ``"failed"``.
+    """
 
     key: str
-    status: str  # "complete" | "failed"
+    status: str  # "complete" | "degraded" | "failed"
     result: Optional[StudyResult] = None
     error: Optional[str] = None
     tenant: str = "default"
@@ -147,6 +189,15 @@ class StudyScheduler:
         results, only wall clock.
     policy:
         Admission policy name (:data:`SCHEDULE_POLICY_REGISTRY`) or callable.
+    study_max_retries:
+        Additional attempts for a study whose run *raised* (``0`` = none).
+        Retries take the resume path when the study has a run directory, so
+        only the missing work re-runs and the resumed history is identical
+        to an uninterrupted run.  Degraded studies are terminal, not retried
+        (their artifacts are complete; re-running would re-quarantine the
+        same configurations — the fault trace is deterministic).
+    retry_backoff_s:
+        Base delay before study-level retry ``k`` (``backoff * 2**k``).
     """
 
     def __init__(
@@ -155,14 +206,22 @@ class StudyScheduler:
         *,
         worker_budget: Optional[int] = None,
         policy: Union[str, Callable] = "fair_share",
+        study_max_retries: int = 0,
+        retry_backoff_s: float = 0.0,
     ) -> None:
         if int(max_concurrent_studies) < 1:
             raise ValueError("max_concurrent_studies must be >= 1")
         if worker_budget is not None and int(worker_budget) < 1:
             raise ValueError("worker_budget must be >= 1 (or None)")
+        if int(study_max_retries) < 0:
+            raise ValueError("study_max_retries must be >= 0")
+        if float(retry_backoff_s) < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.max_concurrent_studies = int(max_concurrent_studies)
         self.worker_budget = None if worker_budget is None else int(worker_budget)
         self.policy = SCHEDULE_POLICY_REGISTRY.get(policy) if isinstance(policy, str) else policy
+        self.study_max_retries = int(study_max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
 
     @property
     def workers_per_study(self) -> Optional[int]:
@@ -220,24 +279,40 @@ class StudyScheduler:
 
     # -- one study, crash-isolated ---------------------------------------------
     def _run_one(self, submission: StudySubmission) -> StudyOutcome:
-        try:
-            return self._execute(submission)
-        except Exception as exc:  # noqa: BLE001 — isolation is the contract
-            return StudyOutcome(
-                key=submission.key,
-                status="failed",
-                error=f"{type(exc).__name__}: {exc}",
-                tenant=submission.tenant,
-            )
+        last_error = "unknown error"
+        for attempt in range(self.study_max_retries + 1):
+            if attempt > 0:
+                delay = self.retry_backoff_s * (2 ** (attempt - 1))
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                # Retries resume from the run directory's checkpoint (when
+                # one exists) instead of starting over: only the missing
+                # evaluations re-run, and the resumed history is identical
+                # to an uninterrupted run.
+                return self._execute(submission, retry=attempt > 0)
+            except Exception as exc:  # noqa: BLE001 — isolation is the contract
+                last_error = f"{type(exc).__name__}: {exc}"
+        return StudyOutcome(
+            key=submission.key,
+            status="failed",
+            error=last_error,
+            tenant=submission.tenant,
+        )
 
-    def _execute(self, submission: StudySubmission) -> StudyOutcome:
+    @staticmethod
+    def _result_status(result: StudyResult) -> str:
+        return "degraded" if result.is_degraded else "complete"
+
+    def _execute(self, submission: StudySubmission, retry: bool = False) -> StudyOutcome:
         run_dir = None if submission.run_dir is None else Path(submission.run_dir)
-        if submission.resume and run_dir is not None:
-            if run_status(run_dir) == "complete":
+        if (submission.resume or retry) and run_dir is not None:
+            if run_status(run_dir) in ("complete", "degraded"):
+                result = StudyResult.load(run_dir)
                 return StudyOutcome(
                     key=submission.key,
-                    status="complete",
-                    result=StudyResult.load(run_dir),
+                    status=self._result_status(result),
+                    result=result,
                     tenant=submission.tenant,
                     reused=True,
                 )
@@ -250,7 +325,7 @@ class StudyScheduler:
                 )
                 return StudyOutcome(
                     key=submission.key,
-                    status="complete",
+                    status=self._result_status(result),
                     result=result,
                     tenant=submission.tenant,
                 )
@@ -269,7 +344,10 @@ class StudyScheduler:
         )
         result = study.run(run_dir=run_dir)
         return StudyOutcome(
-            key=submission.key, status="complete", result=result, tenant=submission.tenant
+            key=submission.key,
+            status=self._result_status(result),
+            result=result,
+            tenant=submission.tenant,
         )
 
 
@@ -277,6 +355,7 @@ __all__ = [
     "StudySubmission",
     "StudyOutcome",
     "StudyScheduler",
+    "MapOrderedError",
     "map_ordered",
     "fifo_policy",
     "fair_share_policy",

@@ -34,6 +34,12 @@ import numpy as np
 
 from repro.core.engine import ActiveLearningReport, HyperMapperResult
 from repro.core.executor import EvaluationExecutor
+from repro.core.faults import (
+    FaultInjectingEvaluator,
+    FaultPolicy,
+    attempts_quarantined,
+    summarize_faults,
+)
 from repro.core.history import EvaluationRecord, History
 from repro.core.objectives import ObjectiveSet
 from repro.core.pareto import hypervolume_2d
@@ -46,6 +52,7 @@ from repro.core.registry import (
 )
 from repro.core.scenario import Scenario, ScenarioError
 from repro.core.space import DesignSpace
+from repro.utils.rng import derive_seed
 from repro.utils.serialization import to_jsonable
 
 #: Version stamp of the persisted run-directory layout.
@@ -113,10 +120,11 @@ class _HistoryWriter:
 def run_status(run_dir: Union[str, Path]) -> Optional[str]:
     """Status recorded in a run directory's ``run.json``.
 
-    ``"complete"``, ``"running"`` (killed mid-run or live), ``"failed"``, or
-    ``None`` when the directory holds no readable run metadata.  This is the
-    cheap completeness probe the sweep scheduler uses to decide whether a
-    point needs (re-)running — no history is parsed.
+    ``"complete"``, ``"degraded"`` (finished, but some configurations were
+    quarantined with penalty metrics), ``"running"`` (killed mid-run or
+    live), ``"failed"``, or ``None`` when the directory holds no readable
+    run metadata.  This is the cheap completeness probe the sweep scheduler
+    uses to decide whether a point needs (re-)running — no history is parsed.
     """
     path = Path(run_dir) / RUN_FILE
     if not path.exists():
@@ -240,6 +248,22 @@ class StudyResult:
             curve.append([i + 1, hv])
         return curve
 
+    # -- fault accounting ------------------------------------------------------
+    @property
+    def is_degraded(self) -> bool:
+        """Whether any configuration was quarantined (penalty metrics stand in).
+
+        A degraded run *finished* — its artifacts are complete and loadable —
+        but its history contains poison configurations whose metrics are the
+        fault policy's penalty values, not genuine measurements.
+        """
+        return any(attempts_quarantined(r.attempts) for r in self.history.records)
+
+    def fault_summary(self) -> Dict[str, Any]:
+        """Aggregate retry/quarantine statistics (see
+        :func:`repro.core.faults.summarize_faults`)."""
+        return summarize_faults(self.persisted_history().records)
+
     # -- persistence-backed reporting ----------------------------------------
     def persisted_history(self) -> History:
         """The history as persisted in ``history.jsonl`` (single source of truth).
@@ -282,6 +306,7 @@ class StudyResult:
             "best": best,
             "iterations": [r.to_dict() for r in self.iterations],
             "engine": dict(self.engine_info),
+            "faults": summarize_faults(history.records),
         }
 
     # -- loading --------------------------------------------------------------
@@ -417,15 +442,44 @@ class Study:
 
         executor_spec = scenario.executor_spec
         if self._executor is not None:
+            # An injected (shared) executor owns its own fault handling; the
+            # scenario's faults section applies only to the study-owned stack.
             executor = self._executor
         else:
             assert binding is not None
+            fn = binding.fn
+            fault_policy = None
+            faults_spec = scenario.faults_spec
+            if faults_spec is not None:
+                # Sub-seeds are derived from the scenario seed so the fault
+                # trace (and backoff jitter) is part of the run's identity:
+                # same seed -> same faults -> bit-identical history.
+                fault_policy = FaultPolicy.from_spec(
+                    faults_spec, seed=derive_seed(scenario.seed, "fault-policy")
+                )
+                inject = faults_spec.get("inject")
+                if inject is not None and any(
+                    inject[k] > 0
+                    for k in ("drop_rate", "delay_rate", "corrupt_rate", "crash_rate")
+                ):
+                    fn = FaultInjectingEvaluator(
+                        fn,
+                        drop_rate=inject["drop_rate"],
+                        delay_rate=inject["delay_rate"],
+                        delay_s=inject["delay_s"],
+                        corrupt_rate=inject["corrupt_rate"],
+                        crash_rate=inject["crash_rate"],
+                        seed=inject["seed"]
+                        if inject["seed"] is not None
+                        else derive_seed(scenario.seed, "fault-injection"),
+                    )
             executor = EvaluationExecutor(
-                binding.fn,
+                fn,
                 objectives,
                 n_workers=executor_spec["n_workers"],
                 backend=executor_spec["backend"],
                 max_evaluations=scenario.budget_spec["max_evaluations"],
+                fault_policy=fault_policy,
             )
 
         search_spec = scenario.search_spec
@@ -518,6 +572,11 @@ class Study:
         finally:
             if writer is not None:
                 writer.close()
+            if self._executor is None:
+                # The study owns this executor: release its worker pool even
+                # when the engine raises, so a crashed study never leaks
+                # processes.  Injected (shared) executors are the caller's.
+                compiled.executor.close()
 
         # Executor shape is reported from the executor that actually ran
         # (an injected one may differ from the scenario's executor section).
@@ -589,12 +648,14 @@ class Study:
         except (OSError, json.JSONDecodeError):
             return
         for d in payload.get("history", []):
+            attempts = d.get("attempts")
             writer.write(
                 EvaluationRecord(
                     config=_raw_config(d["config"]),
                     metrics={str(k): float(v) for k, v in d["metrics"].items()},
                     source=str(d.get("source", "random")),
                     iteration=int(d.get("iteration", 0)),
+                    attempts=None if not attempts else [dict(a) for a in attempts],
                 )
             )
 
@@ -616,7 +677,8 @@ class Study:
         (run_path / REPORT_FILE).write_text(
             json.dumps(to_jsonable(report), indent=2, sort_keys=True)
         )
-        self._write_run_meta(run_path, status="complete", engine=result.engine_info)
+        status = "degraded" if result.is_degraded else "complete"
+        self._write_run_meta(run_path, status=status, engine=result.engine_info)
 
 
 def _raw_config(d: Mapping[str, Any]):

@@ -59,12 +59,14 @@ from repro.core.scenario import (
     ScenarioError,
     _expect_int,
     _expect_mapping,
+    _expect_number,
     _expect_str,
     _is_int,
     _type_name,
     set_by_path,
     validate_scenario,
 )
+from repro.core.faults import summarize_faults
 from repro.core.scheduler import StudyOutcome, StudyScheduler, StudySubmission
 from repro.core.study import StudyResult, apply_constraints
 
@@ -88,7 +90,14 @@ class SweepError(ScenarioError):
 
 def _validate_scheduler(section: Any, path: str) -> Dict[str, Any]:
     spec = _expect_mapping(section, path)
-    unknown = [k for k in spec if k not in ("max_concurrent_studies", "worker_budget", "policy")]
+    known = (
+        "max_concurrent_studies",
+        "worker_budget",
+        "policy",
+        "study_max_retries",
+        "retry_backoff_s",
+    )
+    unknown = [k for k in spec if k not in known]
     if unknown:
         raise SweepError(f"{path}/{unknown[0]}", "unknown key in scheduler section")
     out: Dict[str, Any] = {
@@ -106,6 +115,17 @@ def _validate_scheduler(section: Any, path: str) -> Dict[str, Any]:
     except UnknownPluginError as exc:
         raise SweepError(f"{path}/policy", str(exc)) from None
     out["policy"] = policy
+    # Study-level retry knobs are emitted only when declared, so existing
+    # sweep manifests (and their golden copies) stay byte-identical.
+    if "study_max_retries" in spec:
+        out["study_max_retries"] = _expect_int(
+            spec["study_max_retries"], f"{path}/study_max_retries", minimum=0
+        )
+    if "retry_backoff_s" in spec:
+        backoff = _expect_number(spec["retry_backoff_s"], f"{path}/retry_backoff_s")
+        if backoff < 0:
+            raise SweepError(f"{path}/retry_backoff_s", "expected a non-negative number")
+        out["retry_backoff_s"] = backoff
     return out
 
 
@@ -421,7 +441,9 @@ class SweepResult:
 
     @property
     def status(self) -> str:
-        """``"complete"`` when every point finished, else ``"partial"``."""
+        """``"complete"`` when every point finished cleanly, ``"degraded"``
+        when every point finished but some hold quarantined evaluations,
+        else ``"partial"``."""
         return self.manifest["status"]
 
     @property
@@ -433,6 +455,20 @@ class SweepResult:
         """The :class:`StudyResult` of one completed point (``None`` if not)."""
         outcome = self.outcomes.get(point_id)
         return outcome.result if outcome is not None else None
+
+
+def _overall_status(entries: Sequence[Mapping[str, Any]]) -> str:
+    """Aggregate point statuses: complete < degraded < partial.
+
+    ``"degraded"`` means every point *finished* but some carry quarantined
+    (penalty-metric) evaluations — usable artifacts, second-class results.
+    """
+    statuses = {e["status"] for e in entries}
+    if statuses <= {"complete"}:
+        return "complete"
+    if statuses <= {"complete", "degraded"}:
+        return "degraded"
+    return "partial"
 
 
 def _manifest_entries(points: Sequence[SweepPoint]) -> List[Dict[str, Any]]:
@@ -546,6 +582,8 @@ def run_sweep(
             scheduler_spec["worker_budget"] if worker_budget is None else worker_budget
         ),
         policy=scheduler_spec["policy"] if policy is None else policy,
+        study_max_retries=scheduler_spec.get("study_max_retries", 0),
+        retry_backoff_s=scheduler_spec.get("retry_backoff_s", 0.0),
     )
 
     points = spec.expand(strict=False)
@@ -576,8 +614,9 @@ def run_sweep(
 
     outcome_list = scheduler.run(submissions, on_outcome=on_outcome)
     outcomes = {o.key: o for o in outcome_list}
-    status = "complete" if all(e["status"] == "complete" for e in entries) else "partial"
-    manifest = _write_manifest(sweep_path, spec, entries, status=status)
+    manifest = _write_manifest(
+        sweep_path, spec, entries, status=_overall_status(entries)
+    )
     comparison = build_comparison(sweep_path)
     return SweepResult(
         spec=spec,
@@ -616,7 +655,10 @@ def build_comparison(sweep_dir: Union[str, Path], write: bool = True) -> Dict[st
             "status": point["status"],
             "error": point.get("error"),
         }
-        if point["status"] == "complete":
+        if point["status"] in ("complete", "degraded"):
+            # Degraded points finished with complete artifacts; their
+            # quarantined records carry penalty metrics and are infeasible by
+            # construction, so they load and compare like any other point.
             try:
                 loaded[point["point_id"]] = StudyResult.load(sweep_path / point["run_dir"])
             except (OSError, ValueError, ScenarioError) as exc:
@@ -675,6 +717,9 @@ def build_comparison(sweep_dir: Union[str, Path], write: bool = True) -> Dict[st
                 ],
             }
         )
+        faults = summarize_faults(history.records)
+        if faults["n_affected"]:
+            entry["faults"] = faults
         if reference is not None and len(result.objectives) == 2:
             front = fronts.get(entry["point_id"])
             entry["hypervolume"] = (
@@ -695,7 +740,7 @@ def build_comparison(sweep_dir: Union[str, Path], write: bool = True) -> Dict[st
     comparison = {
         "sweep": manifest["name"],
         "sweep_dir_version": SWEEP_DIR_VERSION,
-        "status": "complete" if n_complete == len(entries) else "partial",
+        "status": _overall_status(entries),
         "n_points": len(entries),
         "n_complete": n_complete,
         "n_failed": n_failed,
@@ -715,10 +760,12 @@ def build_comparison(sweep_dir: Union[str, Path], write: bool = True) -> Dict[st
 def format_comparison_md(comparison: Mapping[str, Any]) -> str:
     """The comparison report as a Markdown document (``comparison.md``)."""
     objectives = comparison.get("objectives") or []
+    n_degraded = sum(1 for e in comparison["points"] if e["status"] == "degraded")
     lines = [
         f"# Sweep `{comparison['sweep']}` — {comparison['status']}",
         "",
         f"{comparison['n_complete']}/{comparison['n_points']} points complete"
+        + (f", {n_degraded} degraded" if n_degraded else "")
         + (f", {comparison['n_failed']} failed/invalid" if comparison["n_failed"] else "")
         + ".",
         "",

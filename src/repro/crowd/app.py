@@ -10,7 +10,10 @@ running through the scheduler's deterministic fan-out primitive
 (:func:`~repro.core.scheduler.map_ordered`): devices run independently and
 their uploads land in a deterministic order regardless of which device
 finishes first — exactly the property the real crowd experiment relies on
-when 83 phones report back asynchronously.
+when 83 phones report back asynchronously.  ``map_ordered`` drains every
+device before reporting failures (one crashed phone does not discard the
+other 82 results); a raised :class:`~repro.core.scheduler.MapOrderedError`
+aggregates all per-device errors.
 """
 
 from __future__ import annotations

@@ -1,0 +1,953 @@
+"""Tests for the fault-tolerance layer (``repro.core.faults``).
+
+Acceptance criteria covered:
+
+* **chaos determinism** — a study with injected faults (drop/delay/corrupt/
+  crash from a seeded fault trace) produces bit-identical histories across
+  reruns, worker counts (1/2/4), and kill/resume (Hypothesis properties),
+* **retries-to-success equivalence** — when every fault is eventually
+  retried away, the history and Pareto front equal the fault-free run,
+* **quarantine + degraded plumbing** — exhausted retries record penalty
+  metrics with ``"quarantined": true`` attempt metadata, the run finishes
+  ``"degraded"`` (run.json, report.json, sweep manifest, CLI exit code 1),
+* **worker-crash recovery** — a real ``os._exit`` in a process-pool worker
+  is recovered by respawn + resubmit, bounded by ``max_retries``,
+* **drain-all fan-out** — ``map_ordered`` runs every item and aggregates
+  failures in :class:`MapOrderedError` instead of failing fast,
+* **study-level retries** — the scheduler retries a raising study via the
+  resume path and treats degraded as terminal.
+"""
+
+import functools
+import gc
+import json
+import math
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.core.evaluator import EvaluationBudgetExceeded, FunctionEvaluator
+from repro.core.executor import EvaluationExecutor
+from repro.core.faults import (
+    KIND_CRASH,
+    KIND_EVALUATOR_ERROR,
+    KIND_INVALID,
+    KIND_TIMEOUT,
+    EvaluationFault,
+    EvaluationTimeout,
+    EvaluatorError,
+    FaultInjectingEvaluator,
+    FaultPolicy,
+    InvalidResult,
+    WorkerCrash,
+    attempts_quarantined,
+    call_with_policy,
+    config_identity,
+    summarize_faults,
+    wrap_failure,
+)
+from repro.core.objectives import Objective, ObjectiveSet
+from repro.core.parameters import BooleanParameter, OrdinalParameter
+from repro.core.scenario import Scenario, ScenarioError, validate_scenario
+from repro.core.scheduler import (
+    MapOrderedError,
+    StudyScheduler,
+    StudySubmission,
+    map_ordered,
+)
+from repro.core.space import DesignSpace
+from repro.core.study import Study, StudyResult, run_status
+from repro.core.sweep import build_comparison, load_manifest, run_sweep, validate_sweep
+
+settings.register_profile(
+    "determinism",
+    max_examples=8,
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "determinism-explore",
+    max_examples=25,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "determinism"))
+
+
+# ---------------------------------------------------------------------------
+# Shared toy problem
+# ---------------------------------------------------------------------------
+
+SPACE_SPECS = [
+    {"type": "ordinal", "name": "a", "values": [1, 2, 4, 8], "default": 1},
+    {"type": "ordinal", "name": "b", "values": [0.1, 0.2, 0.4], "default": 0.1},
+    {"type": "boolean", "name": "fast", "default": False},
+]
+
+
+def toy_evaluate(config):
+    a, b, fast = float(config["a"]), float(config["b"]), bool(config["fast"])
+    return {
+        "err": 0.05 * a + 0.3 * b + (0.25 if fast else 0.0),
+        "cost": 1.0 / a + 0.5 * b + (0.0 if fast else 0.2),
+    }
+
+
+@pytest.fixture()
+def toy_space():
+    return DesignSpace(
+        [
+            OrdinalParameter("a", [1, 2, 4, 8], default=1),
+            OrdinalParameter("b", [0.1, 0.2, 0.4], default=0.1),
+            BooleanParameter("fast", default=False),
+        ],
+        name="toy",
+    )
+
+
+@pytest.fixture()
+def objectives():
+    return ObjectiveSet([Objective("err"), Objective("cost")])
+
+
+def scenario_dict(faults=None, seed=3, n_workers=None, **search_overrides):
+    search = {"algorithm": "random", "budget": 14}
+    search.update(search_overrides)
+    out = {
+        "schema_version": 1,
+        "name": "faults-toy",
+        "space": {"parameters": SPACE_SPECS},
+        "objectives": [{"name": "err"}, {"name": "cost"}],
+        "evaluator": {"type": "function"},
+        "search": search,
+        "seed": seed,
+    }
+    if faults is not None:
+        out["faults"] = faults
+    if n_workers is not None:
+        out["executor"] = {"n_workers": n_workers}
+    return out
+
+
+#: Chaos section that provably quarantines at least one configuration under
+#: seed 3 (asserted in TestDegradedPlumbing) while most faults retry away.
+CHAOS_FAULTS = {
+    "max_retries": 1,
+    "backoff_base_s": 0.0,
+    "inject": {"drop_rate": 0.3, "corrupt_rate": 0.2, "crash_rate": 0.1},
+}
+
+
+def hist_dump(result_or_history):
+    history = getattr(result_or_history, "history", result_or_history)
+    return [
+        (dict(r.config), r.metrics, r.source, r.iteration, r.attempts)
+        for r in history.records
+    ]
+
+
+def run_history(scenario, n_workers=1):
+    if n_workers != 1:
+        scenario = dict(scenario, executor={"n_workers": n_workers})
+    return hist_dump(Study(scenario, evaluate=toy_evaluate).run())
+
+
+# ---------------------------------------------------------------------------
+# FaultPolicy / FaultInjectingEvaluator validation and primitives
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"timeout_s": 0.0},
+            {"timeout_s": -1.0},
+            {"penalty": 0.0},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_jitter": -1.0},
+            {"backoff_max_s": -1.0},
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPolicy(**kwargs)
+
+    def test_from_spec_defaults(self):
+        policy = FaultPolicy.from_spec({}, seed=7)
+        assert policy.max_retries == 0
+        assert policy.timeout_s is None
+        assert policy.quarantine is True
+        assert policy.penalty == 1e9
+        assert policy.seed == 7
+
+    def test_penalty_metrics_are_sign_aware(self):
+        objectives = ObjectiveSet([Objective("err"), Objective("fps", minimize=False)])
+        policy = FaultPolicy(penalty=100.0)
+        assert policy.penalty_metrics(objectives) == {"err": 100.0, "fps": -100.0}
+
+    def test_backoff_is_deterministic_and_capped(self, toy_space):
+        config = toy_space.default_configuration()
+        policy = FaultPolicy(
+            max_retries=3, backoff_base_s=0.5, backoff_factor=2.0,
+            backoff_jitter=0.25, backoff_max_s=1.25, seed=11,
+        )
+        delays = [policy.backoff_delay_s(config, attempt) for attempt in range(3)]
+        assert delays == [policy.backoff_delay_s(config, a) for a in range(3)]
+        assert all(d <= 1.25 for d in delays)
+        assert delays[0] >= 0.5 and delays[2] == 1.25  # base * 2**2 hits the cap
+        # A different seed reshuffles the jitter, not the exponential base.
+        other = policy.with_seed(12)
+        assert [other.backoff_delay_s(config, a) for a in range(3)] != delays
+
+    def test_zero_backoff_never_sleeps(self, toy_space):
+        config = toy_space.default_configuration()
+        policy = FaultPolicy(max_retries=2)
+        assert policy.backoff_delay_s(config, 0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"drop_rate": 1.5}, {"delay_rate": -0.1}, {"corrupt_rate": 2.0},
+         {"crash_rate": -1.0}, {"delay_s": -1.0}],
+    )
+    def test_injector_rejects_invalid_rates(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultInjectingEvaluator(toy_evaluate, **kwargs)
+
+    def test_injector_with_zero_rates_is_a_passthrough(self, toy_space):
+        injector = FaultInjectingEvaluator(toy_evaluate, seed=5)
+        for config in toy_space.sample(4, rng=2):
+            assert injector(config) == toy_evaluate(config)
+
+    def test_injected_fault_trace_is_seeded(self, toy_space):
+        def trace(seed):
+            injector = FaultInjectingEvaluator(
+                toy_evaluate, drop_rate=0.4, corrupt_rate=0.3, seed=seed
+            )
+            out = []
+            for config in toy_space.sample(12, rng=9):
+                try:
+                    metrics = injector(config)
+                    out.append("corrupt" if math.isnan(metrics["err"]) else "ok")
+                except WorkerCrash:
+                    out.append("drop")
+                except RuntimeError:
+                    out.append("crash")
+            return out
+
+        first = trace(21)
+        assert first == trace(21)
+        assert set(first) > {"ok"}  # some faults actually fired
+        assert first != trace(22)
+
+
+# ---------------------------------------------------------------------------
+# The retry loop
+# ---------------------------------------------------------------------------
+
+
+class TestCallWithPolicy:
+    def _evaluator(self, fn, objectives):
+        return FunctionEvaluator(fn, objectives)
+
+    def test_clean_success_has_no_attempts(self, toy_space, objectives):
+        config = toy_space.default_configuration()
+        metrics, attempts = call_with_policy(
+            self._evaluator(toy_evaluate, objectives), config, FaultPolicy(max_retries=2)
+        )
+        assert metrics == toy_evaluate(config)
+        assert attempts is None
+
+    def test_flaky_evaluation_retries_to_success(self, toy_space, objectives):
+        calls = {"n": 0}
+
+        def flaky(config):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise RuntimeError("transient glitch")
+            return toy_evaluate(config)
+
+        config = toy_space.default_configuration()
+        metrics, attempts = call_with_policy(
+            self._evaluator(flaky, objectives), config, FaultPolicy(max_retries=3)
+        )
+        assert metrics == toy_evaluate(config)
+        assert [a["kind"] for a in attempts] == [KIND_EVALUATOR_ERROR] * 2
+        assert [a["attempt"] for a in attempts] == [0, 1]
+        assert "transient glitch" in attempts[0]["error"]
+        assert not attempts_quarantined(attempts)
+
+    def test_exhausted_retries_quarantine_with_penalty_metrics(self, toy_space, objectives):
+        def broken(config):
+            raise RuntimeError("always broken")
+
+        config = toy_space.default_configuration()
+        policy = FaultPolicy(max_retries=1, quarantine=True, penalty=1e6)
+        metrics, attempts = call_with_policy(self._evaluator(broken, objectives), config, policy)
+        assert metrics == {"err": 1e6, "cost": 1e6}
+        assert len(attempts) == 2
+        assert attempts_quarantined(attempts)
+        assert attempts[-1]["quarantined"] is True
+        assert "quarantined" not in attempts[0]
+
+    def test_without_quarantine_the_typed_fault_escapes(self, toy_space, objectives):
+        def broken(config):
+            raise RuntimeError("always broken")
+
+        config = toy_space.default_configuration()
+        with pytest.raises(EvaluatorError) as excinfo:
+            call_with_policy(
+                self._evaluator(broken, objectives),
+                config,
+                FaultPolicy(max_retries=1, quarantine=False),
+            )
+        assert config_identity(config) in str(excinfo.value)
+        assert "2 attempt(s)" in str(excinfo.value)
+        assert isinstance(excinfo.value, EvaluationFault)
+
+    def test_nan_metrics_are_classified_invalid(self, toy_space, objectives):
+        config = toy_space.default_configuration()
+        metrics, attempts = call_with_policy(
+            self._evaluator(lambda c: {"err": float("nan"), "cost": 1.0}, objectives),
+            config,
+            FaultPolicy(quarantine=True),
+        )
+        assert attempts[-1]["kind"] == KIND_INVALID
+        assert attempts_quarantined(attempts)
+
+    def test_missing_objective_is_classified_invalid(self, toy_space, objectives):
+        config = toy_space.default_configuration()
+        with pytest.raises(InvalidResult):
+            call_with_policy(
+                self._evaluator(lambda c: {"err": 1.0}, objectives),
+                config,
+                FaultPolicy(quarantine=False),
+            )
+
+    def test_budget_exhaustion_is_never_retried(self, toy_space, objectives):
+        calls = {"n": 0}
+
+        def exhausted(config):
+            calls["n"] += 1
+            raise EvaluationBudgetExceeded("budget spent")
+
+        config = toy_space.default_configuration()
+        with pytest.raises(EvaluationBudgetExceeded):
+            call_with_policy(
+                self._evaluator(exhausted, objectives), config, FaultPolicy(max_retries=5)
+            )
+        assert calls["n"] == 1
+
+    def test_wall_clock_timeout_is_classified_post_hoc(self, toy_space, objectives):
+        def slow(config):
+            time.sleep(0.03)
+            return toy_evaluate(config)
+
+        config = toy_space.default_configuration()
+        metrics, attempts = call_with_policy(
+            self._evaluator(slow, objectives),
+            config,
+            FaultPolicy(timeout_s=0.005, quarantine=True),
+        )
+        assert attempts[-1]["kind"] == KIND_TIMEOUT
+        assert attempts_quarantined(attempts)
+
+    def test_injected_delay_trips_timeout_virtually(self, toy_space, objectives):
+        injector = FaultInjectingEvaluator(
+            toy_evaluate, delay_rate=1.0, delay_s=120.0, seed=5
+        )
+        config = toy_space.default_configuration()
+        start = time.monotonic()
+        with pytest.raises(EvaluationTimeout) as excinfo:
+            call_with_policy(
+                self._evaluator(injector, objectives),
+                config,
+                FaultPolicy(timeout_s=1.0, quarantine=False),
+            )
+        # Virtual time: the 120s "hang" is classified without really sleeping.
+        assert time.monotonic() - start < 5.0
+        assert "120" in str(excinfo.value)
+
+    def test_summarize_faults_counts(self):
+        class R:
+            def __init__(self, attempts):
+                self.attempts = attempts
+
+        records = [
+            R(None),
+            R([{"attempt": 0, "kind": "crash", "error": "x"}]),
+            R([
+                {"attempt": 0, "kind": "timeout", "error": "x"},
+                {"attempt": 1, "kind": "timeout", "error": "x", "quarantined": True},
+            ]),
+        ]
+        assert summarize_faults(records) == {
+            "n_affected": 2,
+            "n_retried_ok": 1,
+            "n_quarantined": 1,
+            "by_kind": {"crash": 1, "timeout": 2},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Executor integration (satellite: wrapped failures carry config identity)
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorFailureWrapping:
+    def poisoned(self, config):
+        if bool(config["fast"]) and float(config["a"]) >= 8:
+            raise RuntimeError("board caught fire")
+        return toy_evaluate(config)
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_gather_wraps_failures_with_config_identity(self, toy_space, objectives, n_workers):
+        poison = toy_space.default_configuration().replace(a=8, fast=True)
+        with EvaluationExecutor(self.poisoned, objectives, n_workers=n_workers) as executor:
+            # The serial path raises at submission, the pool path at gather.
+            with pytest.raises(EvaluatorError) as excinfo:
+                futures, _ = executor.submit([poison])
+                executor.gather(futures)
+        message = str(excinfo.value)
+        assert "RuntimeError" in message and "board caught fire" in message
+        assert config_identity(poison) in message
+
+    def test_wrap_failure_helper(self, toy_space):
+        config = toy_space.default_configuration()
+        wrapped = wrap_failure(config, ValueError("bad"))
+        assert isinstance(wrapped, EvaluatorError)
+        assert "ValueError: bad" in str(wrapped)
+        assert wrapped.config is config
+
+    def test_policy_quarantine_through_executor(self, toy_space, objectives):
+        policy = FaultPolicy(max_retries=0, quarantine=True, penalty=1e9)
+        with EvaluationExecutor(
+            self.poisoned, objectives, n_workers=2, fault_policy=policy
+        ) as executor:
+            poison = toy_space.default_configuration().replace(a=8, fast=True)
+            clean = toy_space.default_configuration()
+            futures, _ = executor.submit([clean, poison])
+            results = executor.gather(futures)
+        assert results[0] == toy_evaluate(clean)
+        assert results[1] == {"err": 1e9, "cost": 1e9}
+        assert futures[0].attempts is None
+        assert attempts_quarantined(futures[1].attempts)
+
+
+# ---------------------------------------------------------------------------
+# Real worker death: process backend recovery
+# ---------------------------------------------------------------------------
+
+
+def _poison_process_evaluate(config):
+    if bool(config["fast"]) and float(config["a"]) >= 8:
+        os._exit(13)  # kill the worker, breaking the whole pool
+    return toy_evaluate(config)
+
+
+def _crash_once_process_evaluate(flag_dir, config):
+    marker = Path(flag_dir) / "died"
+    if bool(config["fast"]) and float(config["a"]) >= 8 and not marker.exists():
+        marker.write_text("x")
+        os._exit(13)
+    return toy_evaluate(config)
+
+
+class TestProcessPoolCrashRecovery:
+    def _configs(self, toy_space):
+        poison = toy_space.default_configuration().replace(a=8, fast=True)
+        others = [
+            c for c in toy_space.sample(8, rng=11)
+            if not (float(c["a"]) >= 8 and bool(c["fast"]))  # the poison predicate
+        ][:4]
+        return others + [poison]
+
+    def test_persistent_crash_is_quarantined_after_bounded_recoveries(
+        self, toy_space, objectives
+    ):
+        policy = FaultPolicy(max_retries=1, quarantine=True, penalty=1e9)
+        configs = self._configs(toy_space)
+        with EvaluationExecutor(
+            _poison_process_evaluate, objectives, n_workers=2,
+            backend="process", fault_policy=policy,
+        ) as executor:
+            # The poison config kills its worker every time it runs: two
+            # crashes (initial + one bounded recovery), then quarantine.
+            poison_futures, _ = executor.submit([configs[-1]])
+            assert executor.gather(poison_futures) == [{"err": 1e9, "cost": 1e9}]
+            # The executor survived — the respawned pool evaluates normally.
+            futures, _ = executor.submit(configs[:-1])
+            results = executor.gather(futures)
+        assert attempts_quarantined(poison_futures[0].attempts)
+        assert [a["kind"] for a in poison_futures[0].attempts] == [KIND_CRASH, KIND_CRASH]
+        assert results == [toy_evaluate(c) for c in configs[:-1]]
+
+    def test_transient_crash_recovers_to_success(self, toy_space, objectives, tmp_path):
+        policy = FaultPolicy(max_retries=2, quarantine=True)
+        fn = functools.partial(_crash_once_process_evaluate, str(tmp_path))
+        configs = self._configs(toy_space)
+        with EvaluationExecutor(
+            fn, objectives, n_workers=2, backend="process", fault_policy=policy
+        ) as executor:
+            futures, _ = executor.submit(configs)
+            results = executor.gather(futures)
+        # The pool broke exactly once; every in-flight victim was resubmitted
+        # on the respawned pool and completed with its true metrics.
+        assert results == [toy_evaluate(c) for c in configs]
+        assert any(a["kind"] == KIND_CRASH for a in futures[-1].attempts)
+        assert not any(attempts_quarantined(f.attempts) for f in futures)
+
+    def test_crash_without_policy_raises_worker_crash(self, toy_space, objectives):
+        with EvaluationExecutor(
+            _poison_process_evaluate, objectives, n_workers=2, backend="process"
+        ) as executor:
+            poison = toy_space.default_configuration().replace(a=8, fast=True)
+            futures, _ = executor.submit([poison])
+            with pytest.raises(WorkerCrash) as excinfo:
+                executor.gather(futures)
+        assert config_identity(poison) in str(excinfo.value)
+
+
+class TestNoLeakedPools:
+    def test_dropped_executor_shuts_its_pool_down(self, objectives, toy_space):
+        executor = EvaluationExecutor(toy_evaluate, objectives, n_workers=2)
+        executor.evaluate(toy_space.sample(2, rng=1))
+        pool = executor._pool
+        assert pool is not None
+        del executor
+        gc.collect()
+        assert pool._shutdown  # __del__ released the workers
+
+    def test_study_owned_executor_is_closed_even_on_crash(self, monkeypatch):
+        closed = []
+        original = EvaluationExecutor.close
+
+        def tracking_close(self):
+            closed.append(self)
+            original(self)
+
+        monkeypatch.setattr(EvaluationExecutor, "close", tracking_close)
+
+        def exploding(config):
+            raise RuntimeError("boom")
+
+        with pytest.raises(Exception):
+            Study(scenario_dict(n_workers=2), evaluate=exploding).run()
+        assert len(closed) == 1
+        assert closed[0]._pool is None and closed[0]._closed
+
+    def test_injected_executor_stays_open_after_the_run(self, objectives, toy_space):
+        scenario = scenario_dict()
+        with EvaluationExecutor(toy_evaluate, objectives, n_workers=2) as executor:
+            Study(scenario, executor=executor).run()
+            # The caller still owns the pool: further work is accepted.
+            assert executor.evaluate([toy_space.default_configuration()])
+
+
+# ---------------------------------------------------------------------------
+# Chaos determinism at the study level (the tentpole acceptance)
+# ---------------------------------------------------------------------------
+
+
+class TestChaosDeterminism:
+    def test_chaos_history_is_bit_identical_across_reruns_and_workers(self):
+        scenario = scenario_dict(faults=CHAOS_FAULTS)
+        reference = run_history(scenario)
+        assert run_history(scenario) == reference
+        for n_workers in (2, 4):
+            assert run_history(scenario, n_workers=n_workers) == reference, n_workers
+        # The chaos actually bit: some records carry attempt metadata.
+        assert any(attempts for *_, attempts in reference)
+
+    def test_retries_to_success_equals_fault_free_run(self):
+        clean = scenario_dict(seed=5)
+        chaotic = scenario_dict(
+            seed=5,
+            faults={
+                "max_retries": 6,
+                "backoff_base_s": 0.0,
+                "inject": {"drop_rate": 0.4},
+            },
+        )
+        clean_hist = run_history(clean)
+        chaos_hist = run_history(chaotic)
+        # Identical evaluations (metadata aside): same configs, metrics,
+        # sources, iterations — so the Pareto front is identical too.
+        assert [(c, m, s, i) for c, m, s, i, _ in chaos_hist] == [
+            (c, m, s, i) for c, m, s, i, _ in clean_hist
+        ]
+        assert any(attempts for *_, attempts in chaos_hist)  # faults did fire
+        assert not any(attempts_quarantined(a) for *_, a in chaos_hist)
+        clean_front = Study(clean, evaluate=toy_evaluate).run().pareto
+        chaos_front = Study(chaotic, evaluate=toy_evaluate).run().pareto
+        assert [(dict(r.config), r.metrics) for r in chaos_front] == [
+            (dict(r.config), r.metrics) for r in clean_front
+        ]
+
+    @given(
+        seed=st.integers(0, 10_000),
+        drop_rate=st.sampled_from([0.0, 0.15, 0.35]),
+        corrupt_rate=st.sampled_from([0.0, 0.2]),
+        max_retries=st.integers(0, 2),
+    )
+    def test_property_chaos_runs_are_deterministic(
+        self, seed, drop_rate, corrupt_rate, max_retries
+    ):
+        scenario = scenario_dict(
+            seed=seed,
+            faults={
+                "max_retries": max_retries,
+                "backoff_base_s": 0.0,
+                "inject": {"drop_rate": drop_rate, "corrupt_rate": corrupt_rate},
+            },
+            budget=10,
+        )
+        reference = run_history(scenario)
+        assert run_history(scenario) == reference
+        for n_workers in (2, 4):
+            assert run_history(scenario, n_workers=n_workers) == reference, n_workers
+
+    @given(seed=st.integers(0, 10_000), kill_at=st.integers(0, 2))
+    def test_property_chaos_kill_resume_equals_uninterrupted(self, seed, kill_at):
+        search = {
+            "algorithm": "hypermapper",
+            "n_random_samples": 6,
+            "max_iterations": 3,
+            "max_samples_per_iteration": 4,
+            "pool_size": None,
+        }
+        faults = {
+            "max_retries": 1,
+            "backoff_base_s": 0.0,
+            "inject": {"drop_rate": 0.25, "corrupt_rate": 0.15},
+        }
+        full_scenario = dict(
+            scenario_dict(faults=faults, seed=seed), search=search, name="chaos-resume"
+        )
+        full = run_history(full_scenario)
+        killed = dict(full_scenario, search=dict(search, max_iterations=kill_at))
+        with tempfile.TemporaryDirectory() as td:
+            run_dir = Path(td) / "run"
+            Study(killed, evaluate=toy_evaluate).run(run_dir=run_dir)
+            Scenario.from_dict(full_scenario).save(run_dir / "scenario.json")
+            resumed = Study.resume(run_dir, evaluate=toy_evaluate)
+            assert hist_dump(resumed) == full
+            # The persisted stream carries the same attempt metadata.
+            lines = [
+                json.loads(line)
+                for line in (run_dir / "history.jsonl").read_text().splitlines()
+            ]
+            assert [
+                (d["config"], d["metrics"], d["source"], d["iteration"], d.get("attempts"))
+                for d in lines
+            ] == full
+
+
+# ---------------------------------------------------------------------------
+# Degraded plumbing: run.json, report.json, CLI exit codes
+# ---------------------------------------------------------------------------
+
+
+class TestDegradedPlumbing:
+    def test_quarantine_marks_the_run_degraded(self, tmp_path):
+        run_dir = tmp_path / "run"
+        result = Study(scenario_dict(faults=CHAOS_FAULTS), evaluate=toy_evaluate).run(
+            run_dir=run_dir
+        )
+        assert result.is_degraded
+        assert run_status(run_dir) == "degraded"
+        summary = result.fault_summary()
+        assert summary["n_quarantined"] >= 1
+        assert summary["n_affected"] >= summary["n_quarantined"]
+        assert sum(summary["by_kind"].values()) >= summary["n_affected"]
+        # report.json carries the summary; reloading reproduces the state.
+        report = json.loads((run_dir / "report.json").read_text())
+        assert report["faults"] == summary
+        assert StudyResult.load(run_dir).is_degraded
+        # "attempts" appears exactly on the affected history lines.
+        lines = [
+            json.loads(line)
+            for line in (run_dir / "history.jsonl").read_text().splitlines()
+        ]
+        assert sum("attempts" in d for d in lines) == summary["n_affected"]
+
+    def test_fault_free_run_artifacts_are_unchanged(self, tmp_path):
+        run_dir = tmp_path / "run"
+        result = Study(scenario_dict(), evaluate=toy_evaluate).run(run_dir=run_dir)
+        assert not result.is_degraded
+        assert run_status(run_dir) == "complete"
+        lines = [
+            json.loads(line)
+            for line in (run_dir / "history.jsonl").read_text().splitlines()
+        ]
+        assert all(set(d) == {"config", "metrics", "source", "iteration"} for d in lines)
+        assert json.loads((run_dir / "report.json").read_text())["faults"] == {
+            "n_affected": 0, "n_retried_ok": 0, "n_quarantined": 0, "by_kind": {},
+        }
+
+    def test_quarantined_records_never_reach_the_pareto_front(self):
+        result = Study(scenario_dict(faults=CHAOS_FAULTS), evaluate=toy_evaluate).run()
+        assert result.is_degraded
+        quarantined = [
+            r for r in result.history.records if attempts_quarantined(r.attempts)
+        ]
+        assert quarantined
+        front_configs = {r.config for r in result.pareto}
+        assert all(r.config not in front_configs for r in quarantined)
+        assert all(r.metrics["err"] == 1e9 for r in quarantined)
+
+    def test_cli_run_reports_degraded_with_exit_code_1(self, tmp_path, capsys):
+        scenario_path = tmp_path / "chaos.json"
+        scenario_path.write_text(json.dumps({
+            "schema_version": 1,
+            "name": "cli-chaos",
+            "evaluator": {
+                "type": "slambench", "workload": "kfusion", "device": "odroid-xu3",
+                "n_frames": 8, "width": 32, "height": 24, "dataset_seed": 3,
+            },
+            "search": {"algorithm": "random", "budget": 10},
+            "seed": 7,
+            "faults": {
+                "max_retries": 0,
+                "inject": {"drop_rate": 0.35, "corrupt_rate": 0.2},
+            },
+        }))
+        run_dir = tmp_path / "run"
+        code = cli_main(["run", str(scenario_path), "--run-dir", str(run_dir), "--quiet"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "degraded" in err and "quarantined" in err
+        assert run_status(run_dir) == "degraded"
+        # resume of a degraded run replays to the same degraded exit code.
+        assert cli_main(["resume", str(run_dir), "--quiet"]) == 1
+        assert "degraded" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# map_ordered drain-all (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestMapOrderedDrainAll:
+    @pytest.mark.parametrize("max_concurrent", [1, 3])
+    def test_all_items_run_and_failures_aggregate(self, max_concurrent):
+        ran = []
+
+        def fn(i):
+            ran.append(i)
+            if i in (1, 3):
+                raise ValueError(f"item {i} broke")
+            return i * i
+
+        with pytest.raises(MapOrderedError) as excinfo:
+            map_ordered(fn, range(5), max_concurrent=max_concurrent)
+        assert sorted(ran) == [0, 1, 2, 3, 4]  # drained, not fail-fast
+        assert [i for i, _ in excinfo.value.failures] == [1, 3]
+        assert all(isinstance(e, ValueError) for _, e in excinfo.value.failures)
+        assert "2 of 5 items failed" in str(excinfo.value)
+
+    def test_success_path_is_unchanged(self):
+        items = list(range(10))
+        assert map_ordered(lambda x: x + 1, items, max_concurrent=4) == [
+            x + 1 for x in items
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: study-level retries, degraded outcomes
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerStudyRetries:
+    def test_transient_study_failure_retries_via_resume(self, tmp_path):
+        calls = {"n": 0}
+
+        def flaky(config):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient study failure")
+            return toy_evaluate(config)
+
+        scenario = scenario_dict(seed=9)
+        reference = hist_dump(Study(scenario, evaluate=toy_evaluate).run())
+        outcomes = StudyScheduler(study_max_retries=1).run([
+            StudySubmission(
+                key="flaky", scenario=scenario, run_dir=tmp_path / "flaky", evaluate=flaky
+            )
+        ])
+        assert outcomes[0].status == "complete"
+        assert hist_dump(outcomes[0].result) == reference
+
+    def test_exhausted_study_retries_report_failed(self, tmp_path):
+        def broken(config):
+            raise RuntimeError("permanently broken")
+
+        outcomes = StudyScheduler(study_max_retries=2).run([
+            StudySubmission(
+                key="bad", scenario=scenario_dict(), run_dir=tmp_path / "bad",
+                evaluate=broken,
+            )
+        ])
+        assert outcomes[0].status == "failed"
+        assert "permanently broken" in outcomes[0].error
+
+    def test_degraded_study_is_terminal_not_retried(self, tmp_path):
+        scenario = scenario_dict(faults=CHAOS_FAULTS)
+        outcomes = StudyScheduler(study_max_retries=3).run([
+            StudySubmission(
+                key="chaos", scenario=scenario, run_dir=tmp_path / "chaos",
+                evaluate=toy_evaluate,
+            )
+        ])
+        assert outcomes[0].status == "degraded"
+        assert not outcomes[0].reused
+        # Resubmitting with resume reloads the degraded result, not a re-run.
+        again = StudyScheduler().run([
+            StudySubmission(
+                key="chaos", scenario=scenario, run_dir=tmp_path / "chaos",
+                evaluate=toy_evaluate, resume=True,
+            )
+        ])
+        assert again[0].status == "degraded" and again[0].reused
+
+    def test_scheduler_rejects_bad_retry_configuration(self):
+        with pytest.raises(ValueError):
+            StudyScheduler(study_max_retries=-1)
+        with pytest.raises(ValueError):
+            StudyScheduler(retry_backoff_s=-0.5)
+
+
+# ---------------------------------------------------------------------------
+# Scenario / sweep spec validation
+# ---------------------------------------------------------------------------
+
+
+class TestFaultsSpecValidation:
+    def test_defaults_materialize_within_the_section(self):
+        out = validate_scenario(scenario_dict(faults={"max_retries": 2}))
+        assert out["faults"]["max_retries"] == 2
+        assert out["faults"]["quarantine"] is True
+        assert out["faults"]["timeout_s"] is None
+        assert out["faults"]["inject"] is None
+
+    def test_absent_section_is_not_materialized(self):
+        out = validate_scenario(scenario_dict())
+        assert "faults" not in out
+        assert Scenario.from_dict(scenario_dict()).faults_spec is None
+
+    def test_round_trips_through_scenario(self):
+        scenario = Scenario.from_dict(scenario_dict(faults=CHAOS_FAULTS))
+        spec = scenario.faults_spec
+        assert spec["max_retries"] == 1
+        assert spec["inject"]["drop_rate"] == 0.3
+        again = Scenario.from_dict(scenario.to_dict())
+        assert again.faults_spec == spec
+
+    @pytest.mark.parametrize(
+        "faults, match",
+        [
+            ({"nope": 1}, "/faults"),
+            ({"max_retries": -1}, "max_retries"),
+            ({"timeout_s": 0}, "timeout_s"),
+            ({"inject": {"drop_rate": 1.5}}, "drop_rate"),
+            ({"inject": {"bogus": 0.1}}, "/faults/inject"),
+            ({"inject": {"delay_s": -1}}, "delay_s"),
+        ],
+    )
+    def test_rejects_invalid_sections(self, faults, match):
+        with pytest.raises(ScenarioError, match=match):
+            validate_scenario(scenario_dict(faults=faults))
+
+    def test_sweep_scheduler_retry_keys_validate(self):
+        spec = {
+            "schema_version": 1,
+            "name": "s",
+            "base": scenario_dict(),
+            "axes": {"seed": [1, 2]},
+            "scheduler": {"study_max_retries": 2, "retry_backoff_s": 0.5},
+        }
+        out = validate_sweep(spec)
+        assert out["scheduler"]["study_max_retries"] == 2
+        assert out["scheduler"]["retry_backoff_s"] == 0.5
+        # Undeclared keys are not materialized (golden manifests unchanged).
+        plain = validate_sweep({k: v for k, v in spec.items() if k != "scheduler"})
+        assert "study_max_retries" not in plain["scheduler"]
+        with pytest.raises((ScenarioError, Exception)):
+            validate_sweep(dict(spec, scheduler={"study_max_retries": -1}))
+
+
+# ---------------------------------------------------------------------------
+# Sweeps over chaos: degraded status propagation
+# ---------------------------------------------------------------------------
+
+
+class TestSweepDegraded:
+    def _chaos_sweep(self):
+        return {
+            "schema_version": 1,
+            "name": "chaos-sweep",
+            "base": scenario_dict(faults=CHAOS_FAULTS),
+            "axes": {"seed": [3, 5]},
+            "scheduler": {"max_concurrent_studies": 2},
+        }
+
+    def test_degraded_points_propagate_to_manifest_and_comparison(self, tmp_path):
+        sweep_dir = tmp_path / "sweep"
+        result = run_sweep(self._chaos_sweep(), sweep_dir, evaluate=toy_evaluate)
+        manifest = load_manifest(sweep_dir)
+        statuses = [p["status"] for p in manifest["points"]]
+        assert set(statuses) <= {"complete", "degraded"}
+        assert "degraded" in statuses
+        assert manifest["status"] == "degraded"
+        assert result.status == "degraded"
+        assert result.n_failed == 0  # degraded is not failed
+        comparison = build_comparison(sweep_dir, write=True)
+        assert comparison["status"] == "degraded"
+        for entry, status in zip(comparison["points"], statuses):
+            assert entry["status"] == status
+            if entry.get("faults"):
+                assert entry["faults"]["n_affected"] >= 1
+        assert any(entry.get("faults") for entry in comparison["points"])
+        assert "degraded" in (sweep_dir / "comparison.md").read_text()
+
+    def test_degraded_sweep_is_bit_identical_on_rerun(self, tmp_path):
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        run_sweep(self._chaos_sweep(), first, evaluate=toy_evaluate)
+        run_sweep(self._chaos_sweep(), second, evaluate=toy_evaluate)
+        for point in load_manifest(first)["points"]:
+            a = (first / point["run_dir"] / "history.jsonl").read_bytes()
+            b = (second / point["run_dir"] / "history.jsonl").read_bytes()
+            assert a == b, point["point_id"]
+
+    def test_resume_reloads_degraded_points_without_rerunning(self, tmp_path):
+        sweep_dir = tmp_path / "sweep"
+        run_sweep(self._chaos_sweep(), sweep_dir, evaluate=toy_evaluate)
+        before = {
+            p["point_id"]: (sweep_dir / p["run_dir"] / "history.jsonl").read_bytes()
+            for p in load_manifest(sweep_dir)["points"]
+        }
+        calls = []
+
+        def counting(config):
+            calls.append(config)
+            return toy_evaluate(config)
+
+        result = run_sweep(self._chaos_sweep(), sweep_dir, evaluate=counting, resume=True)
+        assert result.status == "degraded"
+        assert calls == []  # every point was reloaded, none re-ran
+        for point in load_manifest(sweep_dir)["points"]:
+            assert (
+                sweep_dir / point["run_dir"] / "history.jsonl"
+            ).read_bytes() == before[point["point_id"]]
