@@ -15,6 +15,16 @@ Subcommands
     ``--resume`` completes only the points a killed sweep left unfinished.
 ``sweep-report <sweep_dir>``
     Recompute and print the comparison report of a persisted sweep.
+``sweep-worker <sweep_dir>``
+    Join a lease-coordinated sweep as one worker process: claim points via
+    durable leases, run them, settle results into the manifest.  Launch N of
+    these on one sweep directory to drain it cooperatively; a worker that
+    dies loses its lease heartbeats and survivors take its points over
+    (see ``docs/distributed.md``).
+``doctor <run_or_sweep_dir>``
+    Detect and repair crash residue: torn ``history.jsonl`` tails, stranded
+    ``*.tmp`` files, orphaned/expired leases, corrupt lease checksums.
+    ``--dry-run`` reports without touching anything.
 ``validate <spec>...``
     Validate scenario or sweep files (detected by shape) without running
     anything.  Errors carry JSON-pointer-style paths to the offending key.
@@ -45,13 +55,16 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.core.doctor import doctor as run_doctor
 from repro.core.registry import registry_snapshot
 from repro.core.scenario import Scenario, ScenarioError
 from repro.core.study import Study, StudyResult
 from repro.core.sweep import (
     SweepSpec,
+    SweepWorker,
     build_comparison,
     load_spec_file,
+    prepare_sweep_dir,
     run_sweep,
 )
 from repro.utils.tables import format_table
@@ -186,6 +199,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_concurrent=args.max_concurrent,
             resume=args.resume,
             force=args.force,
+            leases=args.leases,
         )
     except (ScenarioError, ValueError) as exc:
         # ValueError here is scheduler configuration (e.g. --max-concurrent 0);
@@ -266,6 +280,85 @@ def _print_sweep(comparison: Dict, sweep_dir: Path, out=None) -> None:
         lines.append("  ranking by hypervolume: " + ", ".join(comparison["ranking"]))
     lines.append(f"  artifacts: {sweep_dir}")
     print("\n".join(lines), file=out if out is not None else sys.stdout)
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    sweep_dir = Path(args.sweep_dir)
+    try:
+        if args.spec is not None:
+            # First worker to arrive creates the manifest; the rest verify
+            # their spec matches and join without rewriting progress.
+            prepare_sweep_dir(SweepSpec.from_file(args.spec), sweep_dir, resume=True)
+        elif not (sweep_dir / "sweep.json").exists():
+            print(
+                f"error: {sweep_dir} is not a sweep directory "
+                "(pass --spec to create it)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        worker = SweepWorker(
+            sweep_dir,
+            owner=args.owner,
+            ttl_s=args.ttl,
+            max_concurrent=args.max_concurrent,
+            hold_after_claim=args.hold_after_claim,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    def on_claim(submission) -> None:
+        if not args.quiet:
+            print(f"worker {worker.owner}: claimed {submission.key}", flush=True)
+
+    def on_outcome(outcome) -> None:
+        if not args.quiet:
+            suffix = "" if outcome.error is None else f" ({outcome.error})"
+            print(f"worker {worker.owner}: {outcome.key} {outcome.status}{suffix}", flush=True)
+
+    try:
+        worker.run(max_points=args.max_points, on_claim=on_claim, on_outcome=on_outcome)
+        manifest = worker.finalize()
+    except Exception as exc:  # claim/settle plumbing failed, not a study
+        print(f"error: worker failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    for pid in worker.fenced_points:
+        print(
+            f"warning: fenced on {pid}: another worker took the point over; "
+            "its result stands",
+            file=sys.stderr,
+        )
+    if not args.quiet:
+        print(
+            f"sweep {manifest['name']!r}: {manifest['n_complete']}/{manifest['n_points']} "
+            f"complete ({manifest['status']})"
+        )
+    if manifest["status"] == "complete":
+        return EXIT_OK
+    if manifest["status"] == "running":
+        # This worker hit --max-points (or every remaining point is leased
+        # elsewhere); the sweep itself is still in progress.
+        return EXIT_OK
+    return EXIT_FAILED
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    try:
+        report = run_doctor(args.path, repair=not args.dry_run)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    # Exit 0 only for a tree that is now known-good: it was clean, or every
+    # finding was repaired in this pass.  Dry-run findings and unrepairable
+    # damage exit 1 so scripts/CI can gate on cleanliness.
+    return EXIT_OK if report.healthy else EXIT_FAILED
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -363,6 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reload finished points and complete only the rest",
     )
     p_sweep.add_argument("--force", action="store_true", help="overwrite an existing sweep dir")
+    p_sweep.add_argument(
+        "--leases",
+        action="store_true",
+        help="claim points via durable leases (other sweep-worker processes may "
+        "join the same directory concurrently)",
+    )
     p_sweep.add_argument("--quiet", action="store_true", help="suppress the report printout")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
@@ -375,6 +474,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-write", action="store_true", help="do not refresh comparison.json/comparison.md"
     )
     p_sweep_report.set_defaults(fn=_cmd_sweep_report)
+
+    p_worker = sub.add_parser(
+        "sweep-worker",
+        help="join a lease-coordinated sweep directory as one worker process",
+    )
+    p_worker.add_argument("sweep_dir", help="shared sweep directory (one per sweep)")
+    p_worker.add_argument(
+        "--spec",
+        help="sweep spec file; creates the sweep manifest if the directory is "
+        "new, otherwise must match the existing one",
+    )
+    p_worker.add_argument("--owner", help="lease owner id (default: host:pid:nonce)")
+    p_worker.add_argument(
+        "--ttl", type=float, default=30.0, help="lease time-to-live in seconds (default 30)"
+    )
+    p_worker.add_argument(
+        "--max-concurrent", type=int, help="override the spec's max_concurrent_studies"
+    )
+    p_worker.add_argument(
+        "--max-points", type=int, help="stop after claiming this many points"
+    )
+    p_worker.add_argument(
+        "--hold-after-claim",
+        type=float,
+        default=0.0,
+        help="seconds to hold each claim before starting the study (crash-drill "
+        "hook: widens the kill window deterministically; artifacts unaffected)",
+    )
+    p_worker.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    p_worker.set_defaults(fn=_cmd_sweep_worker)
+
+    p_doctor = sub.add_parser(
+        "doctor", help="detect and repair crash residue in a run or sweep directory"
+    )
+    p_doctor.add_argument("path", help="run or sweep directory to examine")
+    p_doctor.add_argument(
+        "--dry-run", action="store_true", help="report findings without repairing anything"
+    )
+    p_doctor.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p_doctor.set_defaults(fn=_cmd_doctor)
 
     p_validate = sub.add_parser("validate", help="validate scenario / sweep files")
     p_validate.add_argument("scenarios", nargs="+", help="scenario or sweep files to check")

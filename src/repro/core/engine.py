@@ -28,13 +28,13 @@ bit-for-bit.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.acquisition import AcquisitionStrategy, Proposal
+from repro.core.durable import atomic_write_json
 from repro.core.evaluator import EvaluationFunction, Evaluator
 from repro.core.executor import EvalFuture, EvaluationExecutor, as_executor
 from repro.core.history import EvaluationRecord, History
@@ -44,7 +44,7 @@ from repro.core.sampling import EncodedPool, RandomSampler, Sampler, build_encod
 from repro.core.space import Configuration, DesignSpace
 from repro.core.surrogate import MultiObjectiveSurrogate
 from repro.utils.rng import RandomState, as_generator, derive_seed
-from repro.utils.serialization import dump_json, load_json
+from repro.utils.serialization import load_json
 from repro.utils.timing import Timer
 
 #: Schema version of serialized checkpoints.
@@ -608,9 +608,9 @@ class SearchDriver:
             "hypervolume_reference": None if reference is None else [float(x) for x in reference],
             "strategy": self.acquisition.state_dict() if self.acquisition is not None else {},
         }
-        tmp = f"{self.checkpoint_path}.tmp"
-        dump_json(payload, tmp)
-        os.replace(tmp, self.checkpoint_path)
+        # Atomic + fsync'd: a kill (or power cut) mid-checkpoint leaves the
+        # previous checkpoint intact, never a torn one.
+        atomic_write_json(self.checkpoint_path, payload)
 
     def _run_resumed(self, path: str) -> HyperMapperResult:
         data = load_json(path)

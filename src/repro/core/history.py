@@ -7,7 +7,10 @@ speedup tables are derived.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -15,6 +18,10 @@ import numpy as np
 from repro.core.objectives import ObjectiveSet
 from repro.core.pareto import pareto_front, pareto_mask
 from repro.core.space import Configuration, DesignSpace
+from repro.utils.serialization import to_jsonable
+
+#: Environment knob for the default fsync cadence of :class:`HistoryWriter`.
+HISTORY_FSYNC_ENV = "REPRO_HISTORY_FSYNC_EVERY"
 
 
 @dataclass(frozen=True)
@@ -248,4 +255,77 @@ class History:
         }
 
 
-__all__ = ["EvaluationRecord", "History"]
+def default_fsync_every() -> int:
+    """Default fsync cadence, overridable via ``REPRO_HISTORY_FSYNC_EVERY``.
+
+    ``0`` (the default) flushes every record to the OS but never forces it to
+    disk — the durable history survives process death at an evaluation
+    boundary (modulo a torn final line), which is what resume needs.  Set the
+    environment variable to ``N`` to additionally ``fsync`` every N records
+    when the history must also survive power loss.
+    """
+    raw = os.environ.get(HISTORY_FSYNC_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0
+
+
+class HistoryWriter:
+    """Append-only JSONL sink for evaluation records (streamed persistence).
+
+    Every record is written as one newline-terminated line and flushed
+    immediately, so a SIGKILL at any instruction leaves the file ending at an
+    evaluation boundary — except possibly a torn final line, which the
+    durable-I/O layer (:func:`repro.core.durable.scan_jsonl`) detects and
+    resume paths drop.  ``fsync_every=N`` additionally forces the file to
+    disk every N records (``0`` = never; see :func:`default_fsync_every`).
+    """
+
+    def __init__(self, path: Path, *, fsync_every: Optional[int] = None) -> None:
+        self.path = Path(path)
+        self.fsync_every = default_fsync_every() if fsync_every is None else max(0, int(fsync_every))
+        self._fh = None
+        self._since_fsync = 0
+
+    def open(self, truncate: bool = True) -> "HistoryWriter":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w" if truncate else "a")
+        self._since_fsync = 0
+        return self
+
+    def write(self, record: EvaluationRecord) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(to_jsonable(record.to_dict()), sort_keys=True) + "\n")
+        self._fh.flush()
+        if self.fsync_every:
+            self._since_fsync += 1
+            if self._since_fsync >= self.fsync_every:
+                os.fsync(self._fh.fileno())
+                self._since_fsync = 0
+
+    def rewrite(self, records: Sequence[EvaluationRecord]) -> None:
+        """Replace the file content with exactly ``records``."""
+        self.close()
+        self.open(truncate=True)
+        for r in records:
+            self.write(r)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            if self.fsync_every and self._since_fsync:
+                os.fsync(self._fh.fileno())
+                self._since_fsync = 0
+            self._fh.close()
+            self._fh = None
+
+
+__all__ = [
+    "EvaluationRecord",
+    "History",
+    "HistoryWriter",
+    "HISTORY_FSYNC_ENV",
+    "default_fsync_every",
+]

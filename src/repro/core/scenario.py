@@ -686,11 +686,10 @@ class Scenario:
         return json.dumps(self._data, indent=indent, sort_keys=True)
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the normalized scenario to ``path`` as JSON."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n")
-        return path
+        """Write the normalized scenario to ``path`` as JSON (atomically)."""
+        from repro.core.durable import atomic_write_text
+
+        return atomic_write_text(Path(path), self.to_json() + "\n")
 
     def replace(self, **sections: Any) -> "Scenario":
         """A new scenario with some top-level sections replaced and re-validated."""

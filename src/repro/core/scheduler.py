@@ -277,6 +277,77 @@ class StudyScheduler:
                         on_outcome(outcome)
         return [o for o in outcomes if o is not None]
 
+    def drain(
+        self,
+        claim: Callable[[], Union[StudySubmission, float, None]],
+        *,
+        settle: Optional[Callable[[StudyOutcome], None]] = None,
+        max_studies: Optional[int] = None,
+        wait: Callable[[float], None] = time.sleep,
+    ) -> List[StudyOutcome]:
+        """Pull studies from a claim source until it reports exhaustion.
+
+        The lease-backed claiming mode: instead of a fixed submission list,
+        ``claim()`` is consulted whenever a slot is free and returns
+
+        * a :class:`StudySubmission` — run it (crash-isolated, with the
+          scheduler's retry policy);
+        * a ``float`` — nothing claimable *right now* (e.g. every remaining
+          point is leased by a live sibling worker); retry after that many
+          seconds;
+        * ``None`` — the source is exhausted; finish in-flight studies and
+          return.
+
+        ``settle(outcome)`` fires in the scheduling thread as each study
+        finishes — the sweep worker uses it to record the result in the
+        manifest under its lease's fencing generation *before* the next
+        claim.  ``max_studies`` bounds how many claims this call makes.
+        Outcomes are returned in completion order (claim order is racy by
+        construction — siblings are draining the same source).
+        """
+        outcomes: List[StudyOutcome] = []
+        n_claimed = 0
+        exhausted = False
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_concurrent_studies
+        ) as pool:
+            running: Dict[concurrent.futures.Future, StudySubmission] = {}
+            while True:
+                delay: Optional[float] = None
+                while (
+                    not exhausted
+                    and len(running) < self.max_concurrent_studies
+                    and (max_studies is None or n_claimed < max_studies)
+                ):
+                    nxt = claim()
+                    if nxt is None:
+                        exhausted = True
+                    elif isinstance(nxt, (int, float)):
+                        delay = max(float(nxt), 0.0)
+                        break
+                    else:
+                        n_claimed += 1
+                        running[pool.submit(self._run_one, nxt)] = nxt
+                if not running:
+                    if exhausted or (max_studies is not None and n_claimed >= max_studies):
+                        break
+                    wait(delay if delay is not None else 0.05)
+                    continue
+                done, _ = concurrent.futures.wait(
+                    running, return_when=concurrent.futures.FIRST_COMPLETED, timeout=delay
+                )
+                for future in done:
+                    running.pop(future)
+                    outcome = future.result()  # _run_one never raises
+                    outcomes.append(outcome)
+                    if settle is not None:
+                        settle(outcome)
+        return outcomes
+
+    def execute_one(self, submission: StudySubmission) -> StudyOutcome:
+        """Run a single submission crash-isolated (never raises)."""
+        return self._run_one(submission)
+
     # -- one study, crash-isolated ---------------------------------------------
     def _run_one(self, submission: StudySubmission) -> StudyOutcome:
         last_error = "unknown error"

@@ -40,7 +40,8 @@ from repro.core.faults import (
     attempts_quarantined,
     summarize_faults,
 )
-from repro.core.history import EvaluationRecord, History
+from repro.core.durable import atomic_write_json, read_jsonl
+from repro.core.history import EvaluationRecord, History, HistoryWriter
 from repro.core.objectives import ObjectiveSet
 from repro.core.pareto import hypervolume_2d
 from repro.core.registry import (
@@ -87,34 +88,9 @@ def make_function_evaluator(
     return EvaluatorBinding(fn=evaluate, info={"type": "function"})
 
 
-class _HistoryWriter:
-    """Append-only JSONL sink for evaluation records (streamed persistence)."""
-
-    def __init__(self, path: Path) -> None:
-        self.path = path
-        self._fh = None
-
-    def open(self, truncate: bool = True) -> "_HistoryWriter":
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("w" if truncate else "a")
-        return self
-
-    def write(self, record: EvaluationRecord) -> None:
-        assert self._fh is not None
-        self._fh.write(json.dumps(to_jsonable(record.to_dict()), sort_keys=True) + "\n")
-        self._fh.flush()
-
-    def rewrite(self, records: Sequence[EvaluationRecord]) -> None:
-        """Replace the file content with exactly ``records``."""
-        self.close()
-        self.open(truncate=True)
-        for r in records:
-            self.write(r)
-
-    def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+# The streamed history sink lives with the history model now; the old
+# underscored name stays importable for existing callers and tests.
+_HistoryWriter = HistoryWriter
 
 
 def run_status(run_dir: Union[str, Path]) -> Optional[str]:
@@ -137,13 +113,49 @@ def run_status(run_dir: Union[str, Path]) -> Optional[str]:
     return None if status is None else str(status)
 
 
+#: Crash residue recognizable inside a run directory: atomic-write
+#: temporaries and the resume side stream.
+RESUME_TMP_FILE = HISTORY_FILE + ".resume-tmp"
+
+
+def run_residue(run_dir: Union[str, Path]) -> List[Path]:
+    """Leftover temporary files a crash may have stranded in a run dir.
+
+    Matches ``*.tmp`` (atomic-write temporaries, current and legacy naming)
+    in the run dir and its checkpoint dir, plus an abandoned
+    ``history.jsonl.resume-tmp``.  Pure probe — nothing is removed.
+    """
+    run_path = Path(run_dir)
+    if not run_path.is_dir():
+        return []
+    residue = sorted(run_path.glob("*.tmp")) + sorted(
+        (run_path / CHECKPOINT_DIR).glob("*.tmp")
+    )
+    resume_tmp = run_path / RESUME_TMP_FILE
+    if resume_tmp.exists():
+        residue.append(resume_tmp)
+    return residue
+
+
+def clean_run_residue(run_dir: Union[str, Path]) -> List[Path]:
+    """Remove crash residue from a run directory (see :func:`run_residue`).
+
+    Only safe when no writer is live in the directory — callers are the
+    fresh/resume run setup (which owns the dir) and ``repro doctor``.
+    Returns the paths removed.
+    """
+    removed = []
+    for path in run_residue(run_dir):
+        path.unlink(missing_ok=True)
+        removed.append(path)
+    return removed
+
+
 def _load_history_jsonl(path: Path, objectives: ObjectiveSet, space: Optional[DesignSpace]) -> History:
-    dicts = []
-    if path.exists():
-        for line in path.read_text().splitlines():
-            line = line.strip()
-            if line:
-                dicts.append(json.loads(line))
+    # A history killed mid-append ends in a torn final line; everything before
+    # it is complete records, so resume/report paths drop the tail instead of
+    # dying on json.JSONDecodeError (mid-file corruption still raises).
+    dicts = read_jsonl(path, tolerate_torn_tail=True) if path.exists() else []
     return History.from_dicts(objectives, dicts, space=space)
 
 
@@ -552,6 +564,7 @@ class Study:
                 for stale in (PARETO_FILE, REPORT_FILE):
                     (run_path / stale).unlink(missing_ok=True)
                 (run_path / CHECKPOINT_DIR / CHECKPOINT_FILE).unlink(missing_ok=True)
+            clean_run_residue(run_path)
             writer.open(truncate=True)
             if resume_from is not None:
                 # Re-seed the stream with the checkpoint's history so the
@@ -640,7 +653,7 @@ class Study:
         }
         if engine is not None:
             meta["engine"] = engine
-        (run_path / RUN_FILE).write_text(json.dumps(to_jsonable(meta), indent=2, sort_keys=True))
+        atomic_write_json(run_path / RUN_FILE, meta)
 
     def _preseed_history(self, writer: _HistoryWriter, checkpoint_path: str) -> None:
         try:
@@ -670,13 +683,8 @@ class Study:
         if tmp.exists():
             tmp.unlink()
         pareto = [r.to_dict() for r in result.pareto]
-        (run_path / PARETO_FILE).write_text(
-            json.dumps(to_jsonable(pareto), indent=2, sort_keys=True)
-        )
-        report = result.report()
-        (run_path / REPORT_FILE).write_text(
-            json.dumps(to_jsonable(report), indent=2, sort_keys=True)
-        )
+        atomic_write_json(run_path / PARETO_FILE, pareto)
+        atomic_write_json(run_path / REPORT_FILE, result.report())
         status = "degraded" if result.is_degraded else "complete"
         self._write_run_meta(run_path, status=status, engine=result.engine_info)
 
@@ -695,5 +703,8 @@ __all__ = [
     "resolve_problem",
     "apply_constraints",
     "run_status",
+    "run_residue",
+    "clean_run_residue",
+    "RESUME_TMP_FILE",
     "make_function_evaluator",
 ]

@@ -46,12 +46,16 @@ import copy
 import itertools
 import json
 import re
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.durable import FileLock, atomic_write_text
+from repro.core.leases import DEFAULT_TTL_S, Lease, LeaseStore, StaleLeaseError
 from repro.core.pareto import hypervolume_2d
 from repro.core.registry import SCHEDULE_POLICY_REGISTRY, UnknownPluginError
 from repro.core.scenario import (
@@ -80,6 +84,11 @@ SWEEP_FILE = "sweep.json"
 COMPARISON_FILE = "comparison.json"
 COMPARISON_MD_FILE = "comparison.md"
 POINTS_DIR = "points"
+LEASES_DIR = "leases"
+SWEEP_LOCK_FILE = ".sweep.lock"
+
+#: Manifest point statuses that need no further work.
+TERMINAL_STATUSES = ("complete", "degraded", "failed", "invalid")
 
 _TOP_LEVEL_KEYS = ("schema_version", "name", "base", "axes", "points", "scheduler")
 
@@ -380,11 +389,8 @@ class SweepSpec:
         return json.dumps(self._data, indent=indent, sort_keys=True)
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the normalized spec to ``path`` as JSON."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n")
-        return path
+        """Write the normalized spec to ``path`` as JSON (atomically)."""
+        return atomic_write_text(Path(path), self.to_json() + "\n")
 
     # -- identity -------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -500,9 +506,9 @@ def _write_manifest(
         "points": [dict(e) for e in entries],
     }
     sweep_path.mkdir(parents=True, exist_ok=True)
-    tmp = sweep_path / (SWEEP_FILE + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    tmp.replace(sweep_path / SWEEP_FILE)
+    atomic_write_text(
+        sweep_path / SWEEP_FILE, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
     return manifest
 
 
@@ -521,6 +527,396 @@ def load_manifest(sweep_dir: Union[str, Path]) -> Dict[str, Any]:
     return manifest
 
 
+# ---------------------------------------------------------------------------
+# Lease-backed multi-worker draining
+# ---------------------------------------------------------------------------
+
+
+def sweep_lock(sweep_dir: Union[str, Path]) -> FileLock:
+    """The advisory lock serializing manifest RMW + lease ops for one sweep."""
+    return FileLock(Path(sweep_dir) / SWEEP_LOCK_FILE)
+
+
+def point_scenario(
+    spec: SweepSpec, point_id: str, overrides: Mapping[str, Any]
+) -> Optional[Scenario]:
+    """Rebuild one point's scenario from its manifest entry.
+
+    Workers derive scenarios from the *entries* — ``(point_id, overrides)``
+    pairs — not by re-expanding ``spec.axes``: the manifest is serialized
+    with sorted keys, which reorders the axes dict, and expansion order
+    (hence point ids) must never depend on that.  Returns ``None`` when the
+    overrides no longer produce a valid scenario.
+    """
+    data = copy.deepcopy(spec.to_dict()["base"])
+    data["name"] = f"{spec.name}-{point_id}"
+    try:
+        for path, value in overrides.items():
+            set_by_path(data, path, value)
+        return Scenario.from_dict(data)
+    except ScenarioError:
+        return None
+
+
+def prepare_sweep_dir(
+    spec: Union[SweepSpec, Mapping[str, Any], str, Path],
+    sweep_dir: Union[str, Path],
+    *,
+    resume: bool = False,
+    force: bool = False,
+    lock: Optional[FileLock] = None,
+) -> Dict[str, Any]:
+    """Create — or join — a sweep directory's durable manifest.
+
+    Idempotent under the sweep lock, so N workers racing at startup are
+    safe: the first writes the ``pending`` manifest, the rest verify their
+    spec matches (same expansion) and join **without rewriting** — an
+    existing manifest's per-point progress is never clobbered.
+    """
+    spec = SweepSpec.coerce(spec)
+    sweep_path = Path(sweep_dir)
+    sweep_path.mkdir(parents=True, exist_ok=True)
+    lock = sweep_lock(sweep_path) if lock is None else lock
+    with lock:
+        if (sweep_path / SWEEP_FILE).exists() and not force:
+            existing = load_manifest(sweep_path)
+            if not resume:
+                raise SweepError(
+                    "/",
+                    f"{sweep_path} already holds a sweep (pass force=True to overwrite, "
+                    "or resume=True to continue it)",
+                )
+            if SweepSpec.from_dict(existing["spec"]) != spec:
+                raise SweepError(
+                    "/",
+                    f"sweep spec does not match the manifest in {sweep_path} "
+                    "(expansion would differ); refusing to resume",
+                )
+            return existing
+        entries = _manifest_entries(spec.expand(strict=False))
+        return _write_manifest(sweep_path, spec, entries, status="running")
+
+
+def _settle_point_locked(
+    sweep_path: Path,
+    point_id: str,
+    status: str,
+    *,
+    generation: int,
+    error: Optional[str] = None,
+) -> Dict[str, Any]:
+    manifest = load_manifest(sweep_path)
+    spec = SweepSpec.from_dict(manifest["spec"])
+    entries = manifest["points"]
+    for entry in entries:
+        if entry["point_id"] == point_id:
+            break
+    else:
+        raise SweepError("/points", f"no point {point_id!r} in the manifest of {sweep_path}")
+    recorded = int(entry.get("generation", 0))
+    if int(generation) < recorded:
+        raise StaleLeaseError(
+            f"settle of {point_id!r} at generation {generation} rejected: the manifest "
+            f"records generation {recorded} (the point was taken over; that result stands)"
+        )
+    entry["status"] = status
+    entry["error"] = error
+    entry["generation"] = int(generation)
+    _write_manifest(sweep_path, spec, entries, status=manifest["status"])
+    return dict(entry)
+
+
+def settle_point(
+    sweep_dir: Union[str, Path],
+    point_id: str,
+    status: str,
+    *,
+    generation: int,
+    error: Optional[str] = None,
+    lock: Optional[FileLock] = None,
+) -> Dict[str, Any]:
+    """Record a point's terminal status in the manifest, fenced by generation.
+
+    The generation is the fencing token from the writer's lease at claim
+    time.  A settle carrying a generation *older* than the one the manifest
+    records raises :class:`~repro.core.leases.StaleLeaseError` and leaves the
+    manifest untouched — the classic zombie-writer scenario (paused, presumed
+    dead, taken over, resumed) cannot clobber its successor's result.
+    """
+    sweep_path = Path(sweep_dir)
+    lock = sweep_lock(sweep_path) if lock is None else lock
+    with lock:
+        return _settle_point_locked(
+            sweep_path, point_id, status, generation=generation, error=error
+        )
+
+
+class SweepWorker:
+    """One process draining a lease-coordinated sweep directory.
+
+    Start N of these (``python -m repro sweep-worker SWEEP_DIR`` — processes
+    today, hosts sharing a filesystem tomorrow) against one prepared sweep
+    dir (:func:`prepare_sweep_dir`); they claim points via durable leases,
+    run each as an ordinary PR-4 study (so per-point artifacts stay
+    bit-identical to a single-worker run), settle results into the manifest
+    under the fencing generation, and whoever settles last finalizes the
+    sweep status and comparison report.
+
+    A heartbeat thread refreshes held leases every ``ttl_s / 3``; a worker
+    that dies stops heartbeating, its leases expire, and survivors take the
+    points over (resuming from the run dir's checkpoint).  ``clock`` is
+    injectable so tests expire leases without waiting.
+    """
+
+    def __init__(
+        self,
+        sweep_dir: Union[str, Path],
+        *,
+        owner: Optional[str] = None,
+        ttl_s: float = DEFAULT_TTL_S,
+        clock: Callable[[], float] = time.time,
+        evaluate=None,
+        runner=None,
+        max_concurrent: Optional[int] = None,
+        worker_budget: Optional[int] = None,
+        policy: Optional[str] = None,
+        heartbeat: bool = True,
+        hold_after_claim: float = 0.0,
+        poll_interval_s: float = 0.25,
+    ) -> None:
+        self.sweep_path = Path(sweep_dir)
+        manifest = load_manifest(self.sweep_path)
+        self.spec = SweepSpec.from_dict(manifest["spec"])
+        self.lock = sweep_lock(self.sweep_path)
+        self.ttl_s = float(ttl_s)
+        self.clock = clock
+        self.leases = LeaseStore(
+            self.sweep_path / LEASES_DIR, owner=owner, ttl_s=ttl_s, clock=clock, lock=self.lock
+        )
+        self._evaluate = evaluate
+        self._runner = runner
+        self.heartbeat_enabled = bool(heartbeat)
+        self.hold_after_claim = float(hold_after_claim)
+        self.poll_interval_s = float(poll_interval_s)
+        # Scenarios come from the manifest entries, the durable source of
+        # truth (see point_scenario) — never from re-expanding the axes.
+        self._scenarios_by_id: Dict[str, Optional[Scenario]] = {
+            e["point_id"]: point_scenario(self.spec, e["point_id"], e["overrides"])
+            for e in manifest["points"]
+        }
+        scheduler_spec = self.spec.scheduler_spec
+        self.scheduler = StudyScheduler(
+            max_concurrent_studies=(
+                scheduler_spec["max_concurrent_studies"] if max_concurrent is None else max_concurrent
+            ),
+            worker_budget=(
+                scheduler_spec["worker_budget"] if worker_budget is None else worker_budget
+            ),
+            policy=scheduler_spec["policy"] if policy is None else policy,
+            study_max_retries=scheduler_spec.get("study_max_retries", 0),
+            retry_backoff_s=scheduler_spec.get("retry_backoff_s", 0.0),
+        )
+        self._held: Dict[str, Lease] = {}
+        self._held_mutex = threading.Lock()
+        self._stop_heartbeat = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self.fenced_points: List[str] = []
+
+    @property
+    def owner(self) -> str:
+        """This worker's lease owner id."""
+        return self.leases.owner
+
+    # -- claiming ---------------------------------------------------------------
+    def claim_next(self):
+        """Claim the first runnable point of the manifest.
+
+        Returns a :class:`~repro.core.scheduler.StudySubmission` when a point
+        was claimed (its lease is now held and recorded in the manifest), a
+        ``float`` — seconds until the earliest live lease *could* expire —
+        when every remaining point is leased by live workers, or ``None``
+        when every point is terminal (the sweep is drained).
+        """
+        with self.lock:
+            manifest = load_manifest(self.sweep_path)
+            entries = manifest["points"]
+            wait: Optional[float] = None
+            now = self.clock()
+            for entry in entries:
+                if entry["status"] in TERMINAL_STATUSES:
+                    continue
+                pid = entry["point_id"]
+                scenario = self._scenarios_by_id.get(pid)
+                if scenario is None:
+                    continue
+                floor = int(entry.get("generation", 0))
+                lease = self.leases.acquire_locked(pid, generation_floor=floor)
+                if lease is None:
+                    holder = self.leases.peek(pid)
+                    remaining = (
+                        self.poll_interval_s
+                        if holder is None
+                        else max(holder.ttl_s - (now - holder.heartbeat_at), self.poll_interval_s)
+                    )
+                    wait = remaining if wait is None else min(wait, remaining)
+                    continue
+                entry["status"] = "running"
+                entry["owner"] = lease.owner
+                entry["generation"] = lease.generation
+                _write_manifest(self.sweep_path, self.spec, entries, status=manifest["status"])
+                with self._held_mutex:
+                    self._held[pid] = lease
+                return StudySubmission(
+                    key=pid,
+                    scenario=scenario,
+                    run_dir=self.sweep_path / POINTS_DIR / pid,
+                    tenant=self.spec.name,
+                    # Resume semantics make takeover deterministic: a fresh
+                    # dir runs fresh, a dead owner's partial dir continues
+                    # from its checkpoint — bit-identical either way.
+                    resume=True,
+                    evaluate=self._evaluate,
+                    runner=self._runner,
+                )
+            return wait
+
+    # -- settling ---------------------------------------------------------------
+    def settle(self, outcome: StudyOutcome) -> bool:
+        """Record one outcome under its lease's generation, then release.
+
+        Returns ``False`` (and keeps the manifest untouched) when this
+        worker was fenced — its lease on the point was taken over while the
+        study ran, so the successor's result stands.
+        """
+        pid = outcome.key
+        with self._held_mutex:
+            lease = self._held.pop(pid, None)
+        if lease is None:
+            self.fenced_points.append(pid)
+            return False
+        with self.lock:
+            try:
+                _settle_point_locked(
+                    self.sweep_path,
+                    pid,
+                    outcome.status,
+                    generation=lease.generation,
+                    error=outcome.error,
+                )
+                self.leases.release_locked(lease)
+            except StaleLeaseError:
+                self.fenced_points.append(pid)
+                return False
+        return True
+
+    # -- heartbeats -------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        interval = max(self.ttl_s / 3.0, 0.05)
+        while not self._stop_heartbeat.wait(interval):
+            with self._held_mutex:
+                held = list(self._held.items())
+            for pid, lease in held:
+                try:
+                    refreshed = self.leases.heartbeat(lease)
+                except StaleLeaseError:
+                    # Fenced while running: drop the lease so settle() skips.
+                    with self._held_mutex:
+                        if self._held.get(pid) is lease:
+                            del self._held[pid]
+                else:
+                    with self._held_mutex:
+                        if self._held.get(pid) is lease:
+                            self._held[pid] = refreshed
+
+    def _start_heartbeat(self) -> None:
+        if not self.heartbeat_enabled or self._heartbeat_thread is not None:
+            return
+        self._stop_heartbeat.clear()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, name="sweep-lease-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def _stop_heartbeat_thread(self) -> None:
+        if self._heartbeat_thread is None:
+            return
+        self._stop_heartbeat.set()
+        self._heartbeat_thread.join()
+        self._heartbeat_thread = None
+
+    # -- draining ---------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_points: Optional[int] = None,
+        on_claim: Optional[Callable[[StudySubmission], None]] = None,
+        on_outcome: Optional[Callable[[StudyOutcome], None]] = None,
+    ) -> List[StudyOutcome]:
+        """Drain claimable points until the sweep is terminal.
+
+        Runs up to the scheduler's ``max_concurrent_studies`` claimed points
+        at once (:meth:`StudyScheduler.drain`).  ``max_points`` bounds how
+        many points *this* worker claims (tests use 1 to interleave
+        workers).  Outcomes are this worker's own; points other workers ran
+        are settled by them.  Finalization (terminal sweep status +
+        comparison report) is left to :meth:`finalize` so callers control
+        when it happens.
+        """
+        self._start_heartbeat()
+
+        def claim():
+            nxt = self.claim_next()
+            if isinstance(nxt, StudySubmission):
+                if on_claim is not None:
+                    on_claim(nxt)
+                if self.hold_after_claim > 0:
+                    # Deterministic kill window for crash drills: hold the
+                    # claim before starting the study (history unaffected).
+                    time.sleep(self.hold_after_claim)
+            return nxt
+
+        def settle(outcome: StudyOutcome) -> None:
+            self.settle(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        try:
+            return self.scheduler.drain(claim, settle=settle, max_studies=max_points)
+        finally:
+            self._stop_heartbeat_thread()
+            self._release_held()
+
+    def _release_held(self) -> None:
+        """Release any leases still held (error paths), so siblings need not
+        wait for expiry."""
+        with self._held_mutex:
+            held, self._held = dict(self._held), {}
+        for lease in held.values():
+            try:
+                self.leases.release(lease)
+            except StaleLeaseError:
+                pass
+
+    def finalize(self) -> Dict[str, Any]:
+        """Write the terminal sweep status + comparison once fully drained.
+
+        Idempotent and safe to call from every worker: the status aggregation
+        and comparison are pure functions of the (now terminal) manifest and
+        run dirs, so concurrent finalizers write identical bytes.  Returns
+        the manifest (still ``"running"`` if points remain).
+        """
+        with self.lock:
+            manifest = load_manifest(self.sweep_path)
+            entries = manifest["points"]
+            if any(e["status"] not in TERMINAL_STATUSES for e in entries):
+                return manifest
+            manifest = _write_manifest(
+                self.sweep_path, self.spec, entries, status=_overall_status(entries)
+            )
+        build_comparison(self.sweep_path)
+        return manifest
+
+
 def run_sweep(
     spec: Union[SweepSpec, Mapping[str, Any], str, Path],
     sweep_dir: Union[str, Path],
@@ -532,6 +928,9 @@ def run_sweep(
     policy: Optional[str] = None,
     resume: bool = False,
     force: bool = False,
+    leases: bool = False,
+    owner: Optional[str] = None,
+    ttl_s: float = DEFAULT_TTL_S,
 ) -> SweepResult:
     """Expand a sweep spec and run every point through the scheduler.
 
@@ -552,9 +951,30 @@ def run_sweep(
         Reload points whose run dirs are already complete, resume
         checkpointed ones, and run only the rest.  The spec must match the
         manifest's (same expansion, same points).
+    leases:
+        Run in the lease-backed claiming mode: the manifest is prepared
+        durably (:func:`prepare_sweep_dir`) and drained by an in-process
+        :class:`SweepWorker` — the same protocol ``python -m repro
+        sweep-worker`` speaks, so other worker processes may join the same
+        directory concurrently.  ``owner``/``ttl_s`` name and bound this
+        worker's leases.  Per-point artifacts are identical either way.
     """
     spec = SweepSpec.coerce(spec)
     sweep_path = Path(sweep_dir)
+    if leases:
+        return _run_sweep_leased(
+            spec,
+            sweep_path,
+            evaluate=evaluate,
+            runner=runner,
+            max_concurrent=max_concurrent,
+            worker_budget=worker_budget,
+            policy=policy,
+            resume=resume,
+            force=force,
+            owner=owner,
+            ttl_s=ttl_s,
+        )
     manifest_path = sweep_path / SWEEP_FILE
     if manifest_path.exists():
         existing = load_manifest(sweep_path)
@@ -623,6 +1043,45 @@ def run_sweep(
         sweep_dir=sweep_path,
         points=points,
         outcomes=outcomes,
+        manifest=manifest,
+        comparison=comparison,
+    )
+
+
+def _run_sweep_leased(
+    spec: SweepSpec,
+    sweep_path: Path,
+    *,
+    evaluate,
+    runner,
+    max_concurrent: Optional[int],
+    worker_budget: Optional[int],
+    policy: Optional[str],
+    resume: bool,
+    force: bool,
+    owner: Optional[str],
+    ttl_s: float,
+) -> SweepResult:
+    prepare_sweep_dir(spec, sweep_path, resume=resume, force=force)
+    worker = SweepWorker(
+        sweep_path,
+        owner=owner,
+        ttl_s=ttl_s,
+        evaluate=evaluate,
+        runner=runner,
+        max_concurrent=max_concurrent,
+        worker_budget=worker_budget,
+        policy=policy,
+    )
+    outcome_list = worker.run()
+    manifest = worker.finalize()
+    comparison = build_comparison(sweep_path, write=False)
+    return SweepResult(
+        spec=spec,
+        sweep_dir=sweep_path,
+        points=spec.expand(strict=False),
+        # Only the points *this* worker ran; siblings settle their own.
+        outcomes={o.key: o for o in outcome_list},
         manifest=manifest,
         comparison=comparison,
     )
@@ -750,10 +1209,10 @@ def build_comparison(sweep_dir: Union[str, Path], write: bool = True) -> Dict[st
         "ranking": [e["point_id"] for e in ranked],
     }
     if write:
-        (sweep_path / COMPARISON_FILE).write_text(
-            json.dumps(comparison, indent=2, sort_keys=True) + "\n"
+        atomic_write_text(
+            sweep_path / COMPARISON_FILE, json.dumps(comparison, indent=2, sort_keys=True) + "\n"
         )
-        (sweep_path / COMPARISON_MD_FILE).write_text(format_comparison_md(comparison))
+        atomic_write_text(sweep_path / COMPARISON_MD_FILE, format_comparison_md(comparison))
     return comparison
 
 
@@ -822,4 +1281,12 @@ __all__ = [
     "run_sweep",
     "build_comparison",
     "format_comparison_md",
+    "LEASES_DIR",
+    "SWEEP_LOCK_FILE",
+    "TERMINAL_STATUSES",
+    "sweep_lock",
+    "point_scenario",
+    "prepare_sweep_dir",
+    "settle_point",
+    "SweepWorker",
 ]
