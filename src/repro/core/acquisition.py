@@ -125,28 +125,40 @@ class _SurrogateAcquisition(AcquisitionStrategy):
 
     # -- shared steps ------------------------------------------------------------
     def _fit(self, state: "SearchState"):
-        """Fit a fresh surrogate on the history, timed under the "fit" lap."""
-        surrogate = state.new_surrogate()
+        """(Re)fit the surrogate on the history, timed under the "fit" lap.
+
+        With the default ``refit="full"`` a fresh surrogate is grown from
+        scratch every iteration (bit-identical histories).  With
+        ``refit="incremental"`` the previous iteration's surrogate is kept
+        and only the newly appended history rows are routed through it.
+        """
+        prev = state.surrogate
+        incremental = prev is not None and getattr(prev, "refit", "full") == "incremental"
+        surrogate = prev if incremental else state.new_surrogate()
         encoded_pool = state.encoded_pool
         records = state.history.records
         train_configs = [r.config for r in records]
-        X_train = encoded_pool.rows_for(state.space, train_configs)
-        if surrogate.splitter == "hist" and surrogate.max_bins == encoded_pool.bin_mapper.max_bins:
-            # Share the pool's one-time quantization with every forest of
-            # every refit: training rows are uint8 gathers from the cached
-            # binned pool matrix.
-            bin_mapper = encoded_pool.bin_mapper
-            prebinned = encoded_pool.binned_rows_for(state.space, train_configs)
-        else:
-            bin_mapper = None
-            prebinned = None
+        with state.timer.lap("encode"):
+            X_train = encoded_pool.rows_for(state.space, train_configs)
+            if surrogate.splitter == "hist" and surrogate.max_bins == encoded_pool.bin_mapper.max_bins:
+                # Share the pool's one-time quantization with every forest of
+                # every refit: training rows are uint8 gathers from the cached
+                # binned pool matrix.
+                bin_mapper = encoded_pool.bin_mapper
+                prebinned = encoded_pool.binned_rows_for(state.space, train_configs)
+            else:
+                bin_mapper = None
+                prebinned = None
+        metrics = [r.metrics for r in records]
         with state.timer.lap("fit"):
-            surrogate.fit_encoded(
-                X_train,
-                [r.metrics for r in records],
-                bin_mapper=bin_mapper,
-                prebinned=prebinned,
-            )
+            if incremental:
+                surrogate.fit_incremental(
+                    X_train, metrics, bin_mapper=bin_mapper, prebinned=prebinned
+                )
+            else:
+                surrogate.fit_encoded(
+                    X_train, metrics, bin_mapper=bin_mapper, prebinned=prebinned
+                )
         state.surrogate = surrogate
         return surrogate
 
@@ -188,7 +200,8 @@ class _SurrogateAcquisition(AcquisitionStrategy):
 
     def propose(self, state: "SearchState") -> Optional[Proposal]:
         self._fit(state)
-        front_idx, front_values = self._candidate_front(state)
+        with state.timer.lap("predict"):
+            front_idx, front_values = self._candidate_front(state)
         selected = self._select(state, front_idx, front_values)
         pool = state.encoded_pool.configs
         return Proposal(
@@ -297,7 +310,8 @@ class EpsilonGreedy(_SurrogateAcquisition):
 
     def propose(self, state: "SearchState") -> Optional[Proposal]:
         self.inner._fit(state)
-        front_idx, front_values = self.inner._candidate_front(state)
+        with state.timer.lap("predict"):
+            front_idx, front_values = self.inner._candidate_front(state)
         exploit = self.inner._select(state, front_idx, front_values)
         cap = state.max_samples_per_iteration
         target = cap if cap is not None else len(exploit)

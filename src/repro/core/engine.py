@@ -28,6 +28,7 @@ bit-for-bit.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
@@ -49,6 +50,16 @@ from repro.utils.timing import Timer
 
 #: Schema version of serialized checkpoints.
 CHECKPOINT_VERSION = 1
+
+#: Environment knob: set to ``1`` to stamp per-iteration timing counters
+#: (fit/predict/bitset/encode wall milliseconds) onto history records.  Off by
+#: default so artifacts stay byte-identical to earlier releases.
+RECORD_TIMING_ENV = "REPRO_RECORD_TIMING"
+
+
+def record_timing_enabled() -> bool:
+    """Whether history records should carry per-iteration timing counters."""
+    return os.environ.get(RECORD_TIMING_ENV, "").strip().lower() in {"1", "true", "yes", "on"}
 
 
 @dataclass
@@ -398,13 +409,25 @@ class SearchDriver:
         converged: bool = False,
     ) -> HyperMapperResult:
         acquisition = self.acquisition
+        record_timing = record_timing_enabled()
         iteration = start_iteration - 1
         while acquisition is not None and not budget_stop and not converged:
             iteration += 1
             if self.max_iterations is not None and iteration > self.max_iterations:
                 break
             state.iteration = iteration
+            pool = state.encoded_pool
+            kernel_before = pool.bitset_kernel_seconds if pool is not None else 0.0
             proposal = acquisition.propose(state)
+            timing = None
+            if record_timing:
+                kernel_after = pool.bitset_kernel_seconds if pool is not None else 0.0
+                timing = {
+                    "fit_ms": state.timer.last("fit") * 1e3,
+                    "predict_ms": state.timer.last("predict") * 1e3,
+                    "bitset_ms": (kernel_after - kernel_before) * 1e3,
+                    "encode_ms": state.timer.last("encode") * 1e3,
+                }
             # Stragglers from the previous batch ran concurrently with the
             # refit above; fold them into the history now.
             n_drained = self._drain_pending(state, pending)
@@ -438,7 +461,9 @@ class SearchDriver:
             results = self.executor.gather(futures, count=n_wait)
             new_records: List[EvaluationRecord] = []
             for f, (c, m) in zip(futures, zip(configs[:n_wait], results)):
-                record = state.history.add(c, m, source=source, iteration=iter_tag, attempts=f.attempts)
+                record = state.history.add(
+                    c, m, source=source, iteration=iter_tag, attempts=f.attempts, timing=timing
+                )
                 state.register(record)
                 self._emit(record)
                 new_records.append(record)
@@ -703,4 +728,6 @@ __all__ = [
     "SearchState",
     "SearchDriver",
     "CHECKPOINT_VERSION",
+    "RECORD_TIMING_ENV",
+    "record_timing_enabled",
 ]

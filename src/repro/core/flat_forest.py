@@ -34,6 +34,9 @@ values, only the batching changes.
 
 from __future__ import annotations
 
+import hashlib
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -47,6 +50,26 @@ DENSE_COLUMN_CARDINALITY = 64
 #: Pool samples per chunk in the bitset kernel.  512-byte bitset rows keep
 #: the whole per-chunk node-bitset matrix cache-resident.
 POOL_CHUNK = 4096
+
+#: Default byte budget of the per-:class:`PoolIndex` leaf-id cache keyed by
+#: tree structural hash (see :meth:`FlatForest.predict_all_indexed`).
+LEAF_CACHE_BUDGET_BYTES = 64 << 20
+
+
+def _tree_structural_hash(n_features: int, feature, threshold, left, right) -> str:
+    """Content hash of one tree's *routing* structure.
+
+    Leaf **values are deliberately excluded**: an incremental refit that only
+    folds new rows into existing leaves changes values but not which leaf a
+    pool sample lands in, so its cached leaf ids stay valid.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(n_features).tobytes())
+    h.update(np.ascontiguousarray(feature, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(threshold, dtype=np.float64).tobytes())
+    h.update(np.ascontiguousarray(left, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(right, dtype=np.int64).tobytes())
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -85,6 +108,9 @@ class FlatForest:
     _walk_threshold: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
     _levels: Tuple[np.ndarray, ...] = field(repr=False, default=())
     max_depth: int = 0
+    #: Per-tree structural hashes (routing arrays only, values excluded) —
+    #: the keys of the PoolIndex leaf-id cache.
+    tree_hashes: Tuple[str, ...] = ()
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -101,17 +127,34 @@ class FlatForest:
 
     @classmethod
     def from_node_arrays(cls, node_arrays: Sequence[object], n_features: int) -> "FlatForest":
-        """Build from per-tree ``_NodeArrays`` (see :mod:`repro.core.tree`)."""
-        sizes = np.array([na.feature.size for na in node_arrays], dtype=np.int64)
+        """Build from per-tree ``_NodeArrays`` (see :mod:`repro.core.tree`).
+
+        Raises
+        ------
+        ValueError
+            On an empty forest, a tree with zero nodes, inconsistent array
+            lengths, or non-numeric / wrong-kind dtypes — all with explicit
+            messages instead of the opaque ``IndexError``/``concatenate``
+            failures these used to surface as.
+        """
+        if len(node_arrays) == 0:
+            raise ValueError("cannot build a FlatForest from zero trees")
+        if int(n_features) < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}")
+        per_tree = [cls._validated_tree(i, na) for i, na in enumerate(node_arrays)]
+        sizes = np.array([feat.size for feat, *_ in per_tree], dtype=np.int64)
         roots = np.concatenate(([0], np.cumsum(sizes)[:-1]))
-        feature = np.concatenate([na.feature for na in node_arrays])
-        threshold = np.concatenate([na.threshold for na in node_arrays])
-        value = np.concatenate([na.value for na in node_arrays])
+        feature = np.concatenate([p[0] for p in per_tree])
+        threshold = np.concatenate([p[1] for p in per_tree])
+        value = np.concatenate([p[4] for p in per_tree])
         left = np.concatenate(
-            [np.where(na.left >= 0, na.left + off, -1) for na, off in zip(node_arrays, roots)]
+            [np.where(p[2] >= 0, p[2] + off, -1) for p, off in zip(per_tree, roots)]
         )
         right = np.concatenate(
-            [np.where(na.right >= 0, na.right + off, -1) for na, off in zip(node_arrays, roots)]
+            [np.where(p[3] >= 0, p[3] + off, -1) for p, off in zip(per_tree, roots)]
+        )
+        hashes = tuple(
+            _tree_structural_hash(int(n_features), p[0], p[1], p[2], p[3]) for p in per_tree
         )
         leaf = feature < 0
         idx = np.arange(feature.size)
@@ -142,6 +185,42 @@ class FlatForest:
             _walk_threshold=walk_threshold,
             _levels=tuple(levels),
             max_depth=len(levels),
+            tree_hashes=hashes,
+        )
+
+    @staticmethod
+    def _validated_tree(i: int, na: object) -> Tuple[np.ndarray, ...]:
+        """Validate one tree's node arrays; return canonical-dtype copies."""
+        try:
+            raw = (na.feature, na.threshold, na.left, na.right, na.value)  # type: ignore[attr-defined]
+        except AttributeError as exc:
+            raise ValueError(f"tree {i}: expected _NodeArrays-like object, got {type(na).__name__}") from exc
+        arrays = [np.asarray(a) for a in raw]
+        size = arrays[0].size
+        if size == 0:
+            raise ValueError(f"tree {i}: has zero nodes; a fitted tree has at least its root")
+        for name, arr in zip(("feature", "threshold", "left", "right", "value"), arrays):
+            if arr.ndim != 1 or arr.size != size:
+                raise ValueError(
+                    f"tree {i}: node array {name!r} must be 1-D with {size} entries, "
+                    f"got shape {arr.shape}"
+                )
+        for name, arr in ((("feature"), arrays[0]), (("left"), arrays[2]), (("right"), arrays[3])):
+            if arr.dtype.kind not in "iu":
+                raise ValueError(
+                    f"tree {i}: node array {name!r} must be an integer array, got dtype {arr.dtype}"
+                )
+        for name, arr in ((("threshold"), arrays[1]), (("value"), arrays[4])):
+            if arr.dtype.kind not in "fiu":
+                raise ValueError(
+                    f"tree {i}: node array {name!r} must be numeric, got dtype {arr.dtype}"
+                )
+        return (
+            arrays[0].astype(np.int64, copy=False),
+            arrays[1].astype(np.float64, copy=False),
+            arrays[2].astype(np.int64, copy=False),
+            arrays[3].astype(np.int64, copy=False),
+            arrays[4].astype(np.float64, copy=False),
         )
 
     # -- introspection ------------------------------------------------------
@@ -222,7 +301,11 @@ class FlatForest:
 
         Numerically identical to ``predict_all(index.X)`` but evaluated with
         byte-wise bitset arithmetic over the pool index instead of per-sample
-        gathers.
+        gathers.  Per-tree leaf-id planes are cached on the index keyed by
+        each tree's structural hash, so after an incremental refit only the
+        trees whose routing actually changed re-run the kernel — and a value
+        -only leaf update re-runs nothing at all (the final value-table
+        gather always uses the current leaf values).
         """
         if index.n_features != self.n_features:
             raise ValueError(
@@ -232,37 +315,91 @@ class FlatForest:
         T = self.n_trees
         if n == 0:
             return np.empty((T, 0), dtype=np.float64)
+        t_start = time.perf_counter()
 
-        P, cond = index.condition_rows(self.feature, self.threshold)
-        left, right = self.left, self.right
-
-        # Leaf bookkeeping: per-tree local leaf ids, their values, and padded
-        # (tree, slot) gather tables per leaf-id bit plane.
+        # Leaf bookkeeping: per-tree local leaf ids and their values.
         leaves = np.flatnonzero(self.feature < 0)
         tree_of = np.searchsorted(self.roots, leaves, side="right") - 1
         counts = np.bincount(tree_of, minlength=T)
         local = np.arange(leaves.size) - np.concatenate(([0], np.cumsum(counts)))[tree_of]
         max_leaves = int(counts.max())
-        n_bits = max(1, int(np.ceil(np.log2(max(max_leaves, 2)))))
-        zero_row = self.n_nodes  # sentinel all-zero bitset row
-        starts = np.concatenate(([0], np.cumsum(counts)))
-        bit_gather: List[np.ndarray] = []
-        for b in range(n_bits):
-            sel = ((local >> b) & 1) == 1
-            sub, sub_tree = leaves[sel], tree_of[sel]
-            cnt = np.bincount(sub_tree, minlength=T)
-            width = max(1, int(cnt.max()))
-            mat = np.full((T, width), zero_row, dtype=np.int64)
-            pos = np.concatenate(([0], np.cumsum(cnt)))
-            slot = np.arange(sub.size) - pos[sub_tree]
-            mat[sub_tree, slot] = sub
-            bit_gather.append(mat)
-        # Leaf-value table addressed by tree-offset global leaf id.
+
+        lid = self._leaf_ids_indexed(index, leaves, tree_of, local, counts)
+
+        # Leaf-value table addressed by tree-offset local leaf id.
         lut = np.zeros(T * max_leaves, dtype=np.float64)
         lut[tree_of * max_leaves + local] = self.value[leaves]
         lid_offset = (np.arange(T, dtype=np.uint32) * np.uint32(max_leaves))[:, None]
+        out = lut[lid + lid_offset]
+        index.kernel_seconds += time.perf_counter() - t_start
+        return out
 
-        out = np.empty((T, n), dtype=np.float64)
+    def _leaf_ids_indexed(
+        self,
+        index: "PoolIndex",
+        leaves: np.ndarray,
+        tree_of: np.ndarray,
+        local: np.ndarray,
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Per-tree local leaf id of every pool sample: ``(n_trees, n)`` uint32.
+
+        Cached rows (tree structural hash already in ``index``) are copied
+        out of the cache; the bitset kernel runs only over the remaining
+        trees — their levels, roots and leaf bit planes are filtered down to
+        the uncached subset before any per-chunk work.
+        """
+        n = index.n_samples
+        T = self.n_trees
+        hashes = self.tree_hashes if len(self.tree_hashes) == T else self._fallback_hashes()
+        lid = np.empty((T, n), dtype=np.uint32)
+        todo: List[int] = []
+        for t in range(T):
+            cached = index.leaf_cache_get(hashes[t])
+            if cached is not None:
+                lid[t] = cached
+            else:
+                todo.append(t)
+        index.cache_hits += T - len(todo)
+        index.cache_misses += len(todo)
+        if not todo:
+            return lid
+
+        tsel = np.asarray(todo, dtype=np.int64)
+        in_sel = np.zeros(T, dtype=bool)
+        in_sel[tsel] = True
+        Ts = tsel.size
+        row_of_tree = np.full(T, -1, dtype=np.int64)
+        row_of_tree[tsel] = np.arange(Ts)
+
+        P, cond = index.condition_rows(self.feature, self.threshold)
+        left, right = self.left, self.right
+        # Filter the breadth-first levels to nodes of the selected trees.
+        levels: List[np.ndarray] = []
+        for par in self._levels:
+            par_tree = np.searchsorted(self.roots, par, side="right") - 1
+            par_sel = par[in_sel[par_tree]]
+            if par_sel.size:
+                levels.append(par_sel)
+
+        # Padded (tree-row, slot) gather tables per leaf-id bit plane, built
+        # over the selected trees' leaves only.
+        sel_leaf = in_sel[tree_of]
+        max_leaves_sel = int(counts[tsel].max())
+        n_bits = max(1, int(np.ceil(np.log2(max(max_leaves_sel, 2)))))
+        zero_row = self.n_nodes  # sentinel all-zero bitset row
+        bit_gather: List[np.ndarray] = []
+        for b in range(n_bits):
+            sel = sel_leaf & (((local >> b) & 1) == 1)
+            sub, sub_row = leaves[sel], row_of_tree[tree_of[sel]]
+            cnt = np.bincount(sub_row, minlength=Ts)
+            width = max(1, int(cnt.max()) if cnt.size else 1)
+            mat = np.full((Ts, width), zero_row, dtype=np.int64)
+            pos = np.concatenate(([0], np.cumsum(cnt)))
+            slot = np.arange(sub.size) - pos[sub_row]
+            mat[sub_row, slot] = sub
+            bit_gather.append(mat)
+
         chunk = index.chunk
         for c0 in range(0, n, chunk):
             c1 = min(c0 + chunk, n)
@@ -271,9 +408,9 @@ class FlatForest:
             # Member bitset per node, derived parent → children level by
             # level: left = parent AND condition, right = parent XOR left.
             M = np.empty((self.n_nodes + 1, cb), dtype=np.uint8)
-            M[self.roots] = 0xFF
+            M[self.roots[tsel]] = 0xFF
             M[zero_row] = 0
-            for par in self._levels:
+            for par in levels:
                 pm = M[par]
                 lm = pm & Pc[cond[par]]
                 M[left[par]] = lm
@@ -281,13 +418,34 @@ class FlatForest:
             # Compose per-sample local leaf ids from the leaf-membership
             # bit planes (leaves of one tree are disjoint, so OR-reducing
             # the padded row groups is exact).
-            lid = np.zeros((T, c1 - c0), dtype=np.uint32)
+            part = np.zeros((Ts, c1 - c0), dtype=np.uint32)
             for b in range(n_bits):
                 plane = np.bitwise_or.reduce(M[bit_gather[b]], axis=1)
                 bits = np.unpackbits(plane, axis=1)[:, : c1 - c0]
-                lid += bits.astype(np.uint32) << b
-            out[:, c0:c1] = lut[lid + lid_offset]
-        return out
+                part += bits.astype(np.uint32) << b
+            lid[tsel, c0:c1] = part
+
+        for t in todo:
+            index.leaf_cache_put(hashes[t], lid[t].copy())
+        return lid
+
+    def _fallback_hashes(self) -> Tuple[str, ...]:
+        """Structural hashes for forests built without them (old pickles etc.)."""
+        bounds = np.append(self.roots, self.n_nodes)
+        out = []
+        for t in range(self.n_trees):
+            s, e = int(bounds[t]), int(bounds[t + 1])
+            off = np.where(self.left[s:e] >= 0, s, 0)
+            out.append(
+                _tree_structural_hash(
+                    self.n_features,
+                    self.feature[s:e],
+                    self.threshold[s:e],
+                    self.left[s:e] - off,
+                    np.where(self.right[s:e] >= 0, self.right[s:e] - s, -1),
+                )
+            )
+        return tuple(out)
 
     def predict_indexed(self, index: "PoolIndex") -> np.ndarray:
         """Across-tree mean prediction over a pre-indexed pool."""
@@ -317,6 +475,7 @@ class PoolIndex:
         X: np.ndarray,
         max_dense_cardinality: int = DENSE_COLUMN_CARDINALITY,
         chunk: int = POOL_CHUNK,
+        leaf_cache_budget: int = LEAF_CACHE_BUDGET_BYTES,
     ) -> None:
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
@@ -326,6 +485,16 @@ class PoolIndex:
         self.X = X
         self.n_samples, self.n_features = X.shape
         self.chunk = int(chunk)
+        # Leaf-id cache: tree structural hash -> (n_samples,) uint32 local
+        # leaf ids, FIFO-evicted under a byte budget.  Hit/miss counters and
+        # the cumulative kernel wall time feed the per-iteration "bitset"
+        # timing counter.
+        self.leaf_cache_budget = int(leaf_cache_budget)
+        self._leaf_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._leaf_cache_bytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.kernel_seconds = 0.0
         n_bytes = (self.n_samples + 7) // 8
         rows: List[np.ndarray] = [np.zeros((1, n_bytes), dtype=np.uint8)]  # all-false row 0
         self._uniques: List[Optional[np.ndarray]] = []
@@ -348,6 +517,35 @@ class PoolIndex:
     def n_bytes(self) -> int:
         """Packed bitset row width in bytes."""
         return (self.n_samples + 7) // 8
+
+    # -- leaf-id cache -------------------------------------------------------
+    def leaf_cache_get(self, key: str) -> Optional[np.ndarray]:
+        """Cached leaf-id plane for a tree structural hash, or ``None``."""
+        return self._leaf_cache.get(key)
+
+    def leaf_cache_put(self, key: str, leaf_ids: np.ndarray) -> None:
+        """Store one tree's leaf-id plane, FIFO-evicting past the byte budget."""
+        nb = int(leaf_ids.nbytes)
+        if nb > self.leaf_cache_budget:
+            return
+        old = self._leaf_cache.pop(key, None)
+        if old is not None:
+            self._leaf_cache_bytes -= int(old.nbytes)
+        while self._leaf_cache and self._leaf_cache_bytes + nb > self.leaf_cache_budget:
+            _, evicted = self._leaf_cache.popitem(last=False)
+            self._leaf_cache_bytes -= int(evicted.nbytes)
+        self._leaf_cache[key] = leaf_ids
+        self._leaf_cache_bytes += nb
+
+    @property
+    def leaf_cache_entries(self) -> int:
+        """Number of cached per-tree leaf-id planes."""
+        return len(self._leaf_cache)
+
+    @property
+    def leaf_cache_bytes(self) -> int:
+        """Bytes currently held by the leaf-id cache."""
+        return self._leaf_cache_bytes
 
     def condition_rows(
         self, feature: np.ndarray, threshold: np.ndarray

@@ -43,6 +43,11 @@ class EvaluationRecord:
         Structured fault metadata (see :mod:`repro.core.faults`): one entry
         per failed attempt, ``None`` for a clean first-try success — so
         fault-free histories serialize byte-identically to earlier versions.
+    timing:
+        Optional per-iteration wall-clock counters in milliseconds (surrogate
+        fit, pool prediction, bitset kernel, training-row encode) attached by
+        the search driver when ``REPRO_RECORD_TIMING`` is set.  ``None`` (the
+        default) keeps artifacts byte-identical to the pre-timing format.
     """
 
     config: Configuration
@@ -50,6 +55,7 @@ class EvaluationRecord:
     source: str = "random"
     iteration: int = 0
     attempts: Optional[List[Dict[str, Any]]] = None
+    timing: Optional[Dict[str, float]] = None
 
     def objective_values(self, objectives: ObjectiveSet) -> Tuple[float, ...]:
         """Objective values in declaration order (natural units)."""
@@ -69,6 +75,8 @@ class EvaluationRecord:
         }
         if self.attempts is not None:
             out["attempts"] = [dict(a) for a in self.attempts]
+        if self.timing is not None:
+            out["timing"] = dict(self.timing)
         return out
 
 
@@ -87,6 +95,7 @@ class History:
         source: str = "random",
         iteration: int = 0,
         attempts: Optional[Sequence[Mapping[str, Any]]] = None,
+        timing: Optional[Mapping[str, float]] = None,
     ) -> EvaluationRecord:
         """Append a record and return it."""
         record = EvaluationRecord(
@@ -95,6 +104,7 @@ class History:
             source=source,
             iteration=iteration,
             attempts=None if attempts is None else [dict(a) for a in attempts],
+            timing=None if timing is None else {str(k): float(v) for k, v in timing.items()},
         )
         self._records.append(record)
         return record
@@ -230,6 +240,7 @@ class History:
             else:
                 config = Configuration.from_dict(config_dict)
             attempts = d.get("attempts")
+            timing = d.get("timing")
             records.append(
                 EvaluationRecord(
                     config=config,
@@ -237,6 +248,7 @@ class History:
                     source=str(d.get("source", "random")),
                     iteration=int(d.get("iteration", 0)),
                     attempts=None if not attempts else [dict(a) for a in attempts],
+                    timing=None if not timing else {str(k): float(v) for k, v in timing.items()},
                 )
             )
         return cls(objectives, records)

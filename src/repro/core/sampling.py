@@ -243,6 +243,16 @@ class EncodedPool:
         return self._bitset_index
 
     @property
+    def bitset_kernel_seconds(self) -> float:
+        """Cumulative bitset-kernel wall time, without forcing the index.
+
+        ``0.0`` until :attr:`bitset_index` has been materialized — reading
+        this never triggers the (expensive) index build, so callers can
+        difference it around a prediction step to attribute kernel time.
+        """
+        return 0.0 if self._bitset_index is None else float(self._bitset_index.kernel_seconds)
+
+    @property
     def bin_mapper(self) -> BinMapper:
         """Per-run feature quantization, derived from the pool matrix once."""
         if self._bin_mapper is None:

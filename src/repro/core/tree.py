@@ -223,6 +223,19 @@ class DecisionTreeRegressor:
         self._depth = self._compute_depth(self._nodes)
         return self
 
+    def adopt_nodes(self, nodes: _NodeArrays, n_features: int) -> "DecisionTreeRegressor":
+        """Adopt externally grown node arrays as this tree's fitted state.
+
+        This is how :func:`~repro.core.tree_builder.grow_forest_hist` (which
+        grows all of a forest's trees in one pass) and the forest's
+        incremental refit hand finished node tables back to the per-tree
+        wrapper objects.
+        """
+        self._n_features = int(n_features)
+        self._nodes = nodes
+        self._depth = self._compute_depth(nodes)
+        return self
+
     @staticmethod
     def _compute_depth(nodes: _NodeArrays) -> int:
         depth = 0

@@ -63,6 +63,44 @@ class _NodeArrays:
     impurity: np.ndarray  # (n_nodes,) float64 variance at node
 
 
+class _NodeStore:
+    """Growable breadth-first node storage shared by both histogram growers."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "n_samples", "impurity")
+
+    def __init__(self) -> None:
+        self.feature: List[int] = []
+        self.threshold: List[float] = []
+        self.left: List[int] = []
+        self.right: List[int] = []
+        self.value: List[float] = []
+        self.n_samples: List[int] = []
+        self.impurity: List[float] = []
+
+    def new_node(self, sw: float, swy: float, swy2: float) -> int:
+        node_id = len(self.feature)
+        self.feature.append(-1)
+        self.threshold.append(0.0)
+        self.left.append(-1)
+        self.right.append(-1)
+        mean = swy / sw
+        self.value.append(float(mean))
+        self.n_samples.append(int(round(sw)))
+        self.impurity.append(float(max(swy2 / sw - mean * mean, 0.0)))
+        return node_id
+
+    def finish(self) -> _NodeArrays:
+        return _NodeArrays(
+            feature=np.asarray(self.feature, dtype=np.int64),
+            threshold=np.asarray(self.threshold, dtype=np.float64),
+            left=np.asarray(self.left, dtype=np.int64),
+            right=np.asarray(self.right, dtype=np.int64),
+            value=np.asarray(self.value, dtype=np.float64),
+            n_samples=np.asarray(self.n_samples, dtype=np.int64),
+            impurity=np.asarray(self.impurity, dtype=np.float64),
+        )
+
+
 class BinMapper:
     """Quantize feature columns into at most ``max_bins`` ``uint8`` bins.
 
@@ -211,45 +249,16 @@ def grow_tree_hist(
     wy2 = wy * y
 
     # Growable node storage (breadth-first ids).
-    feature: List[int] = []
-    threshold: List[float] = []
-    left: List[int] = []
-    right: List[int] = []
-    value: List[float] = []
-    n_samples: List[int] = []
-    impurity: List[float] = []
-
-    def new_node(sw: float, swy: float, swy2: float) -> int:
-        node_id = len(feature)
-        feature.append(-1)
-        threshold.append(0.0)
-        left.append(-1)
-        right.append(-1)
-        mean = swy / sw
-        value.append(float(mean))
-        n_samples.append(int(round(sw)))
-        impurity.append(float(max(swy2 / sw - mean * mean, 0.0)))
-        return node_id
+    store = _NodeStore()
 
     order = np.flatnonzero(w > 0).astype(np.int64)
     root_w = float(np.sum(w[order]))
     root_wy = float(np.sum(wy[order]))
     root_wy2 = float(np.sum(wy2[order]))
-    new_node(root_w, root_wy, root_wy2)
-
-    def finish() -> _NodeArrays:
-        return _NodeArrays(
-            feature=np.asarray(feature, dtype=np.int64),
-            threshold=np.asarray(threshold, dtype=np.float64),
-            left=np.asarray(left, dtype=np.int64),
-            right=np.asarray(right, dtype=np.int64),
-            value=np.asarray(value, dtype=np.float64),
-            n_samples=np.asarray(n_samples, dtype=np.int64),
-            impurity=np.asarray(impurity, dtype=np.float64),
-        )
+    store.new_node(root_w, root_wy, root_wy2)
 
     if B < 2:  # every column is constant: nothing to split on
-        return finish()
+        return store.finish()
 
     # Padded (d, B-1) lookup tables shared by every level: the float
     # threshold of each bin boundary and whether the boundary exists for
@@ -364,12 +373,12 @@ def grow_tree_hist(
         child_node = np.empty(n_child, dtype=np.int64)
         for k, s in enumerate(sp):
             nid = int(node_of_slot[s])
-            feature[nid] = int(best_feat[s])
-            threshold[nid] = float(thr_mat[best_feat[s], best_b[s]])
-            lid = new_node(float(lw[k]), float(lwy[k]), float(lwy2[k]))
-            rid = new_node(float(rw_[k]), float(rwy_[k]), float(rwy2_[k]))
-            left[nid] = lid
-            right[nid] = rid
+            store.feature[nid] = int(best_feat[s])
+            store.threshold[nid] = float(thr_mat[best_feat[s], best_b[s]])
+            lid = store.new_node(float(lw[k]), float(lwy[k]), float(lwy2[k]))
+            rid = store.new_node(float(rw_[k]), float(rwy_[k]), float(rwy2_[k]))
+            store.left[nid] = lid
+            store.right[nid] = rid
             child_node[2 * k] = lid
             child_node[2 * k + 1] = rid
 
@@ -408,7 +417,359 @@ def grow_tree_hist(
         Sw, Swy, Swy2 = new_Sw, new_Swy, new_Swy2
         depth += 1
 
-    return finish()
+    return store.finish()
 
 
-__all__ = ["BinMapper", "grow_tree_hist", "MAX_BINS", "_NodeArrays"]
+def grow_forest_hist(
+    binned: np.ndarray,
+    bin_thresholds: Sequence[np.ndarray],
+    y: np.ndarray,
+    sample_weights: Optional[Sequence[Optional[np.ndarray]]] = None,
+    *,
+    n_trees: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    min_samples_split: int = 2,
+    min_samples_leaf: int = 1,
+    min_impurity_decrease: float = 0.0,
+    n_feat_per_split: Optional[int] = None,
+    rngs: Optional[Sequence[RandomState]] = None,
+) -> List[_NodeArrays]:
+    """Grow every tree of a forest breadth-first *together*, level-synchronously.
+
+    One frontier spans ``(tree, node)`` pairs across all trees: each level's
+    histograms are a single :func:`np.bincount` pass over the shared binned
+    matrix (per-tree bootstrap weights stacked as a ``(n_trees, n)`` matrix),
+    and the split search is one cumulative bin-statistic scan over every
+    feature of every frontier node of every tree.  A 32-tree refit therefore
+    touches the binned matrix once per level instead of 32 times, turning
+    ~10 NumPy dispatches × levels × trees into ~10 × levels.
+
+    Bit-identical to fitting each tree with :func:`grow_tree_hist`: slots
+    stay tree-major so every per-(slot, feature, bin) accumulation runs in the
+    same row order, per-slot scan/subtraction/split arithmetic is unchanged,
+    and each tree consumes its own generator in exactly the per-tree call
+    sequence (one ``random((S_t, d))`` draw per level while the tree still has
+    an eligible frontier node; no draw the level it stops).
+
+    Parameters match :func:`grow_tree_hist` except:
+
+    sample_weights:
+        Per-tree weight vectors (``None`` entries mean unit weights) or a
+        stacked ``(n_trees, n)`` matrix.  Integer vectors are the forest's
+        bootstrap resamples.
+    n_trees:
+        Forest size; inferred from ``sample_weights``/``rngs`` when omitted.
+    rngs:
+        One independent generator (or seed) per tree for the feature subsets.
+
+    Returns
+    -------
+    list of _NodeArrays
+        Per-tree flat node arrays in breadth-first order.
+
+    Notes
+    -----
+    Peak scratch memory is ``O(frontier_slots * d * max_bins)`` floats per
+    statistic with ``frontier_slots`` summed over all trees; callers fitting
+    very large row counts with wide bins should fall back to per-tree growth
+    (see ``RandomForestRegressor.fit``).
+    """
+    binned = np.ascontiguousarray(binned, dtype=np.uint8)
+    if binned.ndim != 2:
+        raise ValueError(f"binned must be 2-D, got shape {binned.shape}")
+    n, d = binned.shape
+    if len(bin_thresholds) != d:
+        raise ValueError("bin_thresholds must have one entry per column")
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if y.shape[0] != n:
+        raise ValueError("binned and y have inconsistent lengths")
+    if n_trees is None:
+        if rngs is not None:
+            n_trees = len(rngs)
+        elif sample_weights is not None:
+            n_trees = len(sample_weights)
+        else:
+            raise ValueError("n_trees is required when neither sample_weights nor rngs is given")
+    T = int(n_trees)
+    if T < 1:
+        raise ValueError("n_trees must be >= 1")
+    if rngs is None:
+        rngs = [None] * T
+    if len(rngs) != T:
+        raise ValueError("rngs must have one entry per tree")
+    gens = [as_generator(r) for r in rngs]
+    W = np.ones((T, n), dtype=np.float64)
+    if sample_weights is not None:
+        if len(sample_weights) != T:
+            raise ValueError("sample_weights must have one entry per tree")
+        for t in range(T):
+            sw = sample_weights[t]
+            if sw is None:
+                continue
+            swv = np.asarray(sw, dtype=np.float64).ravel()
+            if swv.shape[0] != n:
+                raise ValueError("sample_weight must have one entry per row")
+            if np.any(swv < 0) or not np.any(swv > 0):
+                raise ValueError(
+                    "sample_weight must be non-negative with at least one positive entry"
+                )
+            W[t] = swv
+    if n_feat_per_split is None or n_feat_per_split > d:
+        n_feat_per_split = d
+
+    n_bins = np.array([t.size + 1 for t in bin_thresholds], dtype=np.int64)
+    B = int(n_bins.max())
+    WY = W * y[None, :]
+    WY2 = WY * y[None, :]
+    # Flattened stacks: global row id g = tree * n + row indexes all three.
+    Wf, WYf, WY2f = W.ravel(), WY.ravel(), WY2.ravel()
+
+    order_parts: List[np.ndarray] = []
+    seg_bounds = [0]
+    root_stats = np.empty((T, 3), dtype=np.float64)
+    for t in range(T):
+        order_t = np.flatnonzero(W[t] > 0).astype(np.int64)
+        root_stats[t] = (
+            float(np.sum(W[t][order_t])),
+            float(np.sum(WY[t][order_t])),
+            float(np.sum(WY2[t][order_t])),
+        )
+        order_parts.append(order_t + t * n)
+        seg_bounds.append(seg_bounds[-1] + order_t.size)
+
+    # Node storage is one chunk of vectorized per-node fields per level
+    # (chunk 0 = the T roots, chunk L = every child allocated at level L, in
+    # slot order).  Frontier slot s at level L is exactly entry s of chunk L,
+    # so recording a level's splits is a handful of fancy-indexed writes
+    # instead of a Python loop over nodes; `_finish_chunks` reassembles the
+    # per-tree breadth-first arrays (chunk order is id order within a tree).
+    root_mean = root_stats[:, 1] / root_stats[:, 0]
+    chunk_tree: List[np.ndarray] = [np.arange(T, dtype=np.int64)]
+    chunk_feature: List[np.ndarray] = [np.full(T, -1, dtype=np.int64)]
+    chunk_threshold: List[np.ndarray] = [np.zeros(T, dtype=np.float64)]
+    chunk_left: List[np.ndarray] = [np.full(T, -1, dtype=np.int64)]
+    chunk_right: List[np.ndarray] = [np.full(T, -1, dtype=np.int64)]
+    chunk_value: List[np.ndarray] = [root_mean]
+    chunk_n: List[np.ndarray] = [np.round(root_stats[:, 0]).astype(np.int64)]
+    chunk_imp: List[np.ndarray] = [
+        np.maximum(root_stats[:, 2] / root_stats[:, 0] - root_mean * root_mean, 0.0)
+    ]
+    node_count = np.ones(T, dtype=np.int64)
+
+    def _finish_chunks() -> List[_NodeArrays]:
+        tree_all = np.concatenate(chunk_tree)
+        by_tree = np.argsort(tree_all, kind="stable")
+        fields = [
+            np.concatenate(c)[by_tree]
+            for c in (
+                chunk_feature,
+                chunk_threshold,
+                chunk_left,
+                chunk_right,
+                chunk_value,
+                chunk_n,
+                chunk_imp,
+            )
+        ]
+        bounds_t = np.concatenate(([0], np.cumsum(np.bincount(tree_all, minlength=T))))
+        return [
+            _NodeArrays(
+                feature=fields[0][s:e],
+                threshold=fields[1][s:e],
+                left=fields[2][s:e],
+                right=fields[3][s:e],
+                value=fields[4][s:e],
+                n_samples=fields[5][s:e],
+                impurity=fields[6][s:e],
+            )
+            for s, e in zip(bounds_t[:-1], bounds_t[1:])
+        ]
+
+    if B < 2:  # every column is constant: nothing to split on
+        return _finish_chunks()
+
+    thr_mat = np.full((d, B - 1), np.nan, dtype=np.float64)
+    for j, thr in enumerate(bin_thresholds):
+        thr_mat[j, : thr.size] = thr
+    boundary_ok = np.arange(B - 1)[None, :] < (n_bins[:, None] - 1)
+
+    # Frontier state mirrors grow_tree_hist, with slots tree-major (every
+    # tree's slots contiguous and in its own per-tree order) plus the owning
+    # tree of every slot.  `order` holds *global* row ids (tree * n + row).
+    order = np.concatenate(order_parts) if order_parts else np.empty(0, dtype=np.int64)
+    tree_of_slot = np.arange(T, dtype=np.int64)
+    node_of_slot = np.zeros(T, dtype=np.int64)  # tree-local breadth-first ids
+    seg_start = np.asarray(seg_bounds[:-1], dtype=np.int64)
+    seg_end = np.asarray(seg_bounds[1:], dtype=np.int64)
+    Sw = root_stats[:, 0].copy()
+    Swy = root_stats[:, 1].copy()
+    Swy2 = root_stats[:, 2].copy()
+    scan_mask = np.ones(T, dtype=bool)
+    parent_ref = np.zeros(T, dtype=np.int64)
+    sibling_ref = np.zeros(T, dtype=np.int64)
+    H_prev: Optional[tuple] = None
+
+    depth = 0
+    feat_arange = np.arange(d, dtype=np.int64)
+    while node_of_slot.size:
+        S = node_of_slot.size
+
+        # --- 1. per-slot histograms of (w, w*y, w*y^2) over (feature, bin)
+        size = S * d * B
+        scan_slots = np.flatnonzero(scan_mask)
+        if scan_slots.size:
+            lengths = seg_end[scan_slots] - seg_start[scan_slots]
+            rows_g = np.concatenate(
+                [order[s:e] for s, e in zip(seg_start[scan_slots], seg_end[scan_slots])]
+            )
+            rows = rows_g % n  # local rows for the shared binned matrix
+            slot_rep = np.repeat(scan_slots, lengths)
+            flat = ((slot_rep[:, None] * d + feat_arange[None, :]) * B + binned[rows]).ravel()
+            Hw = np.bincount(flat, weights=np.repeat(Wf[rows_g], d), minlength=size)
+            Hwy = np.bincount(flat, weights=np.repeat(WYf[rows_g], d), minlength=size)
+            Hwy2 = np.bincount(flat, weights=np.repeat(WY2f[rows_g], d), minlength=size)
+        else:  # pragma: no cover - at least one child per level is scanned
+            Hw = np.zeros(size)
+            Hwy = np.zeros(size)
+            Hwy2 = np.zeros(size)
+        Hw = Hw.reshape(S, d, B)
+        Hwy = Hwy.reshape(S, d, B)
+        Hwy2 = Hwy2.reshape(S, d, B)
+        sub_slots = np.flatnonzero(~scan_mask)
+        if sub_slots.size:
+            assert H_prev is not None
+            Hw[sub_slots] = H_prev[0][parent_ref[sub_slots]] - Hw[sibling_ref[sub_slots]]
+            Hwy[sub_slots] = H_prev[1][parent_ref[sub_slots]] - Hwy[sibling_ref[sub_slots]]
+            Hwy2[sub_slots] = H_prev[2][parent_ref[sub_slots]] - Hwy2[sibling_ref[sub_slots]]
+
+        # --- 2. stopping rules that need no split search
+        mean = Swy / Sw
+        sse_node = Swy2 - Swy * mean
+        tol = Sw * (1e-8 + 1e-5 * np.abs(mean)) ** 2
+        eligible = (Sw >= min_samples_split) & (sse_node > tol)
+        if max_depth is not None and depth >= max_depth:
+            eligible[:] = False
+
+        if not np.any(eligible):
+            break
+
+        # --- 3. per-tree random feature subsets: every tree that still has an
+        # eligible frontier node consumes exactly the draw its standalone
+        # grow_tree_hist call would (one (S_t, d) block per level); a tree
+        # whose slots are all ineligible stops *before* drawing, matching the
+        # per-tree break.  Slots are tree-major, so trees are contiguous runs.
+        if n_feat_per_split < d:
+            R = np.zeros((S, d))
+            run_starts = np.flatnonzero(np.diff(tree_of_slot, prepend=-1))
+            run_ends = np.append(run_starts[1:], S)
+            for s0, s1 in zip(run_starts, run_ends):
+                if np.any(eligible[s0:s1]):
+                    R[s0:s1] = gens[tree_of_slot[s0]].random((s1 - s0, d))
+            ranks = np.argsort(R, axis=1, kind="stable")
+            feat_mask = np.zeros((S, d), dtype=bool)
+            np.put_along_axis(feat_mask, ranks[:, :n_feat_per_split], True, axis=1)
+        else:
+            feat_mask = np.ones((S, d), dtype=bool)
+
+        # --- 4. split search: cumulative bin scans, all slots of all trees at once
+        cw = np.cumsum(Hw, axis=2)[:, :, :-1]
+        cwy = np.cumsum(Hwy, axis=2)[:, :, :-1]
+        cwy2 = np.cumsum(Hwy2, axis=2)[:, :, :-1]
+        rw = Sw[:, None, None] - cw
+        rwy = Swy[:, None, None] - cwy
+        rwy2 = Swy2[:, None, None] - cwy2
+        valid = boundary_ok[None, :, :] & feat_mask[:, :, None]
+        valid &= (cw >= min_samples_leaf) & (rw >= min_samples_leaf)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sse_split = (cwy2 - cwy * cwy / cw) + (rwy2 - rwy * rwy / rw)
+        gain = sse_node[:, None, None] - sse_split
+        gain = np.where(valid, gain, -np.inf)
+        flat_gain = gain.reshape(S, d * (B - 1))
+        best = np.argmax(flat_gain, axis=1)
+        slots_idx = np.arange(S)
+        best_gain = flat_gain[slots_idx, best]
+        best_feat = best // (B - 1)
+        best_b = best - best_feat * (B - 1)
+        split_ok = eligible & np.isfinite(best_gain) & ~(best_gain / Sw < min_impurity_decrease)
+        sp = np.flatnonzero(split_ok)
+        if sp.size == 0:
+            break
+
+        # --- 5. record splits and allocate children (left then right, slot
+        # order — tree-major slots keep every tree's breadth-first ids
+        # identical to its standalone growth).  Child ids are the per-tree
+        # running node count plus the child's rank within its tree's run of
+        # `sp` (slots are tree-major, so each tree's splits are contiguous).
+        lw = cw[sp, best_feat[sp], best_b[sp]]
+        lwy = cwy[sp, best_feat[sp], best_b[sp]]
+        lwy2 = cwy2[sp, best_feat[sp], best_b[sp]]
+        rw_ = Sw[sp] - lw
+        rwy_ = Swy[sp] - lwy
+        rwy2_ = Swy2[sp] - lwy2
+        n_child = 2 * sp.size
+        tr = tree_of_slot[sp]
+        sp_counts = np.bincount(tr, minlength=T)
+        run_offset = np.concatenate(([0], np.cumsum(sp_counts)[:-1]))
+        rank = np.arange(sp.size, dtype=np.int64) - run_offset[tr]
+        lid = node_count[tr] + 2 * rank
+        rid = lid + 1
+        node_count += 2 * sp_counts
+        chunk_feature[depth][sp] = best_feat[sp]
+        chunk_threshold[depth][sp] = thr_mat[best_feat[sp], best_b[sp]]
+        chunk_left[depth][sp] = lid
+        chunk_right[depth][sp] = rid
+        child_sw = np.empty(n_child)
+        child_swy = np.empty(n_child)
+        child_swy2 = np.empty(n_child)
+        child_sw[0::2], child_sw[1::2] = lw, rw_
+        child_swy[0::2], child_swy[1::2] = lwy, rwy_
+        child_swy2[0::2], child_swy2[1::2] = lwy2, rwy2_
+        child_mean = child_swy / child_sw
+        chunk_tree.append(np.repeat(tr, 2))
+        chunk_feature.append(np.full(n_child, -1, dtype=np.int64))
+        chunk_threshold.append(np.zeros(n_child, dtype=np.float64))
+        chunk_left.append(np.full(n_child, -1, dtype=np.int64))
+        chunk_right.append(np.full(n_child, -1, dtype=np.int64))
+        chunk_value.append(child_mean)
+        chunk_n.append(np.round(child_sw).astype(np.int64))
+        chunk_imp.append(
+            np.maximum(child_swy2 / child_sw - child_mean * child_mean, 0.0)
+        )
+        child_node = np.empty(n_child, dtype=np.int64)
+        child_node[0::2] = lid
+        child_node[1::2] = rid
+
+        # --- 6. partition rows of the splitting slots into child segments
+        sp_lengths = seg_end[sp] - seg_start[sp]
+        rows_g = np.concatenate([order[s:e] for s, e in zip(seg_start[sp], seg_end[sp])])
+        local = np.repeat(np.arange(sp.size, dtype=np.int64), sp_lengths)
+        go_right = binned[rows_g % n, best_feat[sp][local]] > best_b[sp][local]
+        key = local * 2 + go_right
+        perm = np.argsort(key, kind="stable")
+        order = rows_g[perm]
+        child_len = np.bincount(key, minlength=n_child)
+        bounds = np.concatenate(([0], np.cumsum(child_len)))
+
+        # --- 7. next frontier: scan the smaller child, subtract the larger
+        left_smaller = child_len[0::2] <= child_len[1::2]
+        next_scan = np.empty(n_child, dtype=bool)
+        next_scan[0::2] = left_smaller
+        next_scan[1::2] = ~left_smaller
+        next_sibling = np.arange(n_child, dtype=np.int64)
+        next_sibling[0::2] += 1
+        next_sibling[1::2] -= 1
+        H_prev = (Hw[sp], Hwy[sp], Hwy2[sp])
+        parent_ref = np.repeat(np.arange(sp.size, dtype=np.int64), 2)
+        sibling_ref = next_sibling
+        scan_mask = next_scan
+        node_of_slot = child_node
+        tree_of_slot = np.repeat(tr, 2)
+        seg_start = bounds[:-1]
+        seg_end = bounds[1:]
+        Sw, Swy, Swy2 = child_sw, child_swy, child_swy2
+        depth += 1
+
+    return _finish_chunks()
+
+
+__all__ = ["BinMapper", "grow_tree_hist", "grow_forest_hist", "MAX_BINS", "_NodeArrays"]

@@ -250,3 +250,171 @@ class TestBitsetKernel:
         np.testing.assert_array_equal(
             forest.flat.predict_all_indexed(PoolIndex(Xp)), forest.predict_all_trees(Xp)
         )
+
+
+class TestLeafBitsetCache:
+    """Per-tree leaf-id planes are cached by structural hash across refits."""
+
+    def _forest_and_index(self, n_trees=8, seed=0):
+        from repro.core.flat_forest import PoolIndex
+
+        Xp = _discrete_pool(600, 4, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        X, y = Xp[:150], rng.integers(0, 64, 150) / 16.0
+        forest = RandomForestRegressor(n_estimators=n_trees, random_state=seed).fit(X, y)
+        return forest, PoolIndex(Xp), Xp, X, y
+
+    def test_repeat_prediction_hits_cache(self):
+        forest, index, Xp, _, _ = self._forest_and_index()
+        assert index.cache_hits == 0 and index.cache_misses == 0
+        p1 = forest.predict_indexed(index)
+        assert index.cache_misses == forest.n_estimators and index.cache_hits == 0
+        p2 = forest.predict_indexed(index)
+        assert index.cache_hits == forest.n_estimators
+        assert index.cache_misses == forest.n_estimators  # unchanged
+        np.testing.assert_array_equal(p1, p2)
+        np.testing.assert_array_equal(p1, forest.predict(Xp))
+        assert index.kernel_seconds > 0.0
+        assert index.leaf_cache_entries == forest.n_estimators
+        assert index.leaf_cache_bytes > 0
+
+    def test_structure_frozen_incremental_refit_hits_cache(self):
+        """A value-only incremental refit keeps every tree's structure, so the
+        next prediction must be all cache hits — and still exact."""
+        forest, index, Xp, X, y = self._forest_and_index(seed=3)
+        forest.predict_indexed(index)
+        hits0, misses0 = index.cache_hits, index.cache_misses
+        rng = np.random.default_rng(7)
+        Xn = _discrete_pool(6, 4, seed=9)
+        yn = rng.integers(0, 64, 6) / 16.0
+        X2, y2 = np.vstack([X, Xn]), np.concatenate([y, yn])
+        forest.fit_incremental(X2, y2, leaf_refit_fraction=10.0, drift_fraction=1e9)
+        pred = forest.predict_indexed(index)
+        assert index.cache_hits == hits0 + forest.n_estimators
+        assert index.cache_misses == misses0
+        np.testing.assert_array_equal(pred, forest.predict(Xp))
+
+    def test_full_refit_misses_cache(self):
+        forest, index, Xp, X, y = self._forest_and_index(seed=5)
+        forest.predict_indexed(index)
+        misses0 = index.cache_misses
+        forest.fit(X, y[::-1].copy())  # genuinely different forest
+        pred = forest.predict_indexed(index)
+        assert index.cache_misses == misses0 + forest.n_estimators
+        np.testing.assert_array_equal(pred, forest.predict(Xp))
+
+    def test_budget_evicts_oldest_entries(self):
+        from repro.core.flat_forest import PoolIndex
+
+        forest, _, Xp, _, _ = self._forest_and_index()
+        one_plane = 4 * Xp.shape[0]  # uint32 leaf ids per tree
+        index = PoolIndex(Xp, leaf_cache_budget=3 * one_plane)
+        forest.predict_indexed(index)
+        assert index.leaf_cache_entries <= 3
+        assert index.leaf_cache_bytes <= 3 * one_plane
+        # An over-budget single plane is simply not cached.
+        tiny = PoolIndex(Xp, leaf_cache_budget=1)
+        np.testing.assert_array_equal(
+            forest.predict_indexed(tiny), forest.predict(Xp)
+        )
+        assert tiny.leaf_cache_entries == 0
+
+    def test_mixed_cached_and_dirty_trees(self):
+        """Force a partial-miss pass: warm the cache, regrow a strict subset
+        of trees, and check the subset kernel recomputes only those."""
+        forest, index, Xp, X, y = self._forest_and_index(seed=8)
+        forest.predict_indexed(index)
+        hits0, misses0 = index.cache_hits, index.cache_misses
+        # Aggressive drift settings regrow *some* trees and freeze the rest.
+        rng = np.random.default_rng(11)
+        Xn = _discrete_pool(40, 4, seed=12)
+        yn = rng.integers(0, 64, 40) / 16.0
+        X2, y2 = np.vstack([X, Xn]), np.concatenate([y, yn])
+        forest.fit_incremental(X2, y2, leaf_refit_fraction=0.01, drift_fraction=1e9)
+        pred = forest.predict_indexed(index)
+        new_hits = index.cache_hits - hits0
+        new_misses = index.cache_misses - misses0
+        assert new_hits + new_misses == forest.n_estimators
+        np.testing.assert_array_equal(pred, forest.predict(Xp))
+
+
+class TestFromNodeArraysValidation:
+    def test_zero_trees_rejected(self):
+        with pytest.raises(ValueError, match="zero trees"):
+            FlatForest.from_node_arrays([], n_features=3)
+
+    def test_empty_forest_from_trees_rejected(self):
+        with pytest.raises(ValueError, match="zero trees"):
+            FlatForest.from_trees([])
+
+    def test_bad_feature_count_rejected(self):
+        forest = RandomForestRegressor(n_estimators=2, random_state=0).fit(
+            np.arange(20.0).reshape(10, 2), np.arange(10.0)
+        )
+        nas = [t.node_arrays for t in forest.trees]
+        with pytest.raises(ValueError, match="n_features"):
+            FlatForest.from_node_arrays(nas, n_features=0)
+
+    def test_non_node_arrays_rejected(self):
+        with pytest.raises(ValueError, match="_NodeArrays-like"):
+            FlatForest.from_node_arrays([object()], n_features=2)
+
+    def test_float_index_arrays_rejected(self):
+        from repro.core.tree_builder import _NodeArrays
+
+        na = _NodeArrays(
+            feature=np.array([0.0, -1.0, -1.0]),  # float: invalid
+            threshold=np.array([0.5, 0.0, 0.0]),
+            left=np.array([1, -1, -1]),
+            right=np.array([2, -1, -1]),
+            value=np.array([0.0, 1.0, 2.0]),
+            n_samples=np.array([2, 1, 1]),
+            impurity=np.zeros(3),
+        )
+        with pytest.raises(ValueError, match="integer array"):
+            FlatForest.from_node_arrays([na], n_features=1)
+
+    def test_non_numeric_threshold_rejected(self):
+        from repro.core.tree_builder import _NodeArrays
+
+        na = _NodeArrays(
+            feature=np.array([-1]),
+            threshold=np.array(["x"]),
+            left=np.array([-1]),
+            right=np.array([-1]),
+            value=np.array([1.0]),
+            n_samples=np.array([1]),
+            impurity=np.zeros(1),
+        )
+        with pytest.raises(ValueError, match="numeric"):
+            FlatForest.from_node_arrays([na], n_features=1)
+
+    def test_zero_node_tree_rejected(self):
+        from repro.core.tree_builder import _NodeArrays
+
+        na = _NodeArrays(
+            feature=np.empty(0, dtype=np.int64),
+            threshold=np.empty(0),
+            left=np.empty(0, dtype=np.int64),
+            right=np.empty(0, dtype=np.int64),
+            value=np.empty(0),
+            n_samples=np.empty(0, dtype=np.int64),
+            impurity=np.empty(0),
+        )
+        with pytest.raises(ValueError, match="zero nodes"):
+            FlatForest.from_node_arrays([na], n_features=1)
+
+    def test_ragged_tree_arrays_rejected(self):
+        from repro.core.tree_builder import _NodeArrays
+
+        na = _NodeArrays(
+            feature=np.array([-1, -1]),
+            threshold=np.array([0.0]),  # wrong length
+            left=np.array([-1, -1]),
+            right=np.array([-1, -1]),
+            value=np.array([1.0, 2.0]),
+            n_samples=np.array([1, 1]),
+            impurity=np.zeros(2),
+        )
+        with pytest.raises(ValueError, match="1-D with"):
+            FlatForest.from_node_arrays([na], n_features=1)

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.forest import RandomForestRegressor
 from repro.core.tree import DecisionTreeRegressor
-from repro.core.tree_builder import BinMapper, grow_tree_hist
+from repro.core.tree_builder import BinMapper, grow_forest_hist, grow_tree_hist
 
 
 def _integer_data(seed, n=120, d=4, n_values=5, y_span=32):
@@ -300,3 +300,116 @@ class TestGrowTreeValidation:
         )
         assert nodes.feature.size == 1 and nodes.feature[0] == -1
         assert nodes.value[0] == pytest.approx(2.5)
+
+
+class TestGrowForestHist:
+    """The forest-level grower must match per-tree growing bit-for-bit."""
+
+    _FIELDS = ("feature", "threshold", "left", "right", "value", "n_samples", "impurity")
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_per_tree_grower_bit_for_bit(self, seed):
+        """Same seeds, same weights: one frontier across all trees must give
+        exactly the node tables of growing each tree alone (dyadic targets
+        keep every split statistic an exact float64)."""
+        rng = np.random.default_rng(seed)
+        n, d, n_trees = 80, 4, 5
+        X = rng.integers(0, 5, size=(n, d)).astype(np.float64)
+        y = rng.integers(0, 64, size=n) / 16.0
+        mapper = BinMapper().fit(X)
+        binned = mapper.transform(X)
+        weights = [
+            np.bincount(rng.integers(0, n, size=n), minlength=n).astype(np.float64)
+            for _ in range(n_trees)
+        ]
+        batched = grow_forest_hist(
+            binned,
+            mapper.bin_thresholds_,
+            y,
+            weights,
+            n_feat_per_split=2,
+            rngs=[np.random.default_rng((seed, t)) for t in range(n_trees)],
+        )
+        for t in range(n_trees):
+            single = grow_tree_hist(
+                binned,
+                mapper.bin_thresholds_,
+                y,
+                weights[t],
+                n_feat_per_split=2,
+                rng=np.random.default_rng((seed, t)),
+            )
+            for name in self._FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(single, name), getattr(batched[t], name), err_msg=f"tree {t}: {name}"
+                )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_depth": 3},
+            {"min_samples_leaf": 4, "min_samples_split": 6},
+            {"min_impurity_decrease": 0.5},
+            {"n_feat_per_split": 1},
+        ],
+    )
+    def test_hyperparameters_match_per_tree_grower(self, kwargs):
+        X, y = _integer_data(23, n=100, d=5)
+        mapper = BinMapper().fit(X)
+        binned = mapper.transform(X)
+        n_trees = 4
+        batched = grow_forest_hist(
+            binned,
+            mapper.bin_thresholds_,
+            y,
+            rngs=[np.random.default_rng(100 + t) for t in range(n_trees)],
+            **kwargs,
+        )
+        for t in range(n_trees):
+            single = grow_tree_hist(
+                binned, mapper.bin_thresholds_, y, rng=np.random.default_rng(100 + t), **kwargs
+            )
+            for name in self._FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(single, name), getattr(batched[t], name), err_msg=f"tree {t}: {name}"
+                )
+
+    def test_forest_fit_dispatch_and_fallback_identical(self, monkeypatch):
+        """fit() must build the same forest whether the batched grower runs or
+        the scratch budget forces the per-tree fallback."""
+        import repro.core.forest as fmod
+
+        X, y = _integer_data(31, n=150, d=5)
+        fast = RandomForestRegressor(n_estimators=8, random_state=3).fit(X, y)
+        monkeypatch.setattr(fmod, "FOREST_SCRATCH_BUDGET_BYTES", 0)
+        slow = RandomForestRegressor(n_estimators=8, random_state=3).fit(X, y)
+        for t_fast, t_slow in zip(fast.trees, slow.trees):
+            for name in self._FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(t_fast.node_arrays, name),
+                    getattr(t_slow.node_arrays, name),
+                    err_msg=name,
+                )
+
+    def test_unweighted_trees_and_n_trees_inference(self):
+        X, y = _integer_data(41, n=60, d=3)
+        mapper = BinMapper().fit(X)
+        binned = mapper.transform(X)
+        trees = grow_forest_hist(binned, mapper.bin_thresholds_, y, n_trees=3)
+        single = grow_tree_hist(binned, mapper.bin_thresholds_, y)
+        assert len(trees) == 3
+        for t in range(3):
+            for name in self._FIELDS:
+                np.testing.assert_array_equal(getattr(single, name), getattr(trees[t], name))
+
+    def test_validation(self):
+        X, y = _integer_data(43, n=20, d=2)
+        mapper = BinMapper().fit(X)
+        binned = mapper.transform(X)
+        with pytest.raises(ValueError):
+            grow_forest_hist(binned, mapper.bin_thresholds_, y)  # no tree count
+        with pytest.raises(ValueError):
+            grow_forest_hist(binned, mapper.bin_thresholds_, y, n_trees=2, rngs=[0, 1, 2])
+        with pytest.raises(ValueError):
+            grow_forest_hist(binned, mapper.bin_thresholds_, y, [np.zeros(20)])
