@@ -33,6 +33,15 @@ Subcommands
 ``list-plugins``
     Show every registered plugin name (acquisitions, search algorithms,
     evaluators, workloads, devices, schedule policies).
+``serve``
+    Run the always-on optimization service: a live submission queue with
+    tenant quotas, priority admission with preemption, and an HTTP/JSON
+    front door (see ``docs/service.md``).  SIGTERM/SIGINT parks running
+    studies at their next iteration boundary, journals the queue, and
+    exits 0; restarting on the same ``--state-dir`` resumes bit-identically.
+``submit <scenario>``
+    Submit a scenario to a running service over HTTP; ``--wait`` blocks for
+    the result, ``--follow`` streams progress events as NDJSON.
 
 Exit codes (consistent across subcommands)
 ------------------------------------------
@@ -44,6 +53,13 @@ Exit codes (consistent across subcommands)
   siblings' artifacts are intact and reported).
 * ``2`` — the input could not be used: validation errors, unknown plugins,
   missing files/directories, refusing to clobber an existing run.
+
+The HTTP front door speaks the same contract: ``422``/``400`` responses are
+the exit-``2`` family (the body carries the JSON-pointer ``path``),
+``409``/``500`` are the exit-``1`` family, and a finished study's status
+snapshot carries its CLI-equivalent ``exit_code`` (``complete`` → 0,
+``degraded``/``failed``/``canceled`` → 1).  ``submit --wait`` exits with
+exactly that code.
 """
 
 from __future__ import annotations
@@ -421,6 +437,147 @@ def _cmd_list_plugins(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_quota(text: str):
+    """Parse ``tenant=max_running[:max_queued[:workers]]`` (``-`` = unlimited)."""
+    from repro.core.service import TenantQuota
+
+    if "=" not in text:
+        raise ValueError(
+            f"--quota {text!r}: expected tenant=max_running[:max_queued[:workers]]"
+        )
+    tenant, _, spec = text.partition("=")
+    fields = spec.split(":")
+    if not tenant or not 1 <= len(fields) <= 3:
+        raise ValueError(
+            f"--quota {text!r}: expected tenant=max_running[:max_queued[:workers]]"
+        )
+    values = []
+    for part in fields + [""] * (3 - len(fields)):
+        if part in ("", "-"):
+            values.append(None)
+        else:
+            values.append(int(part))  # ValueError propagates with context below
+    return tenant, TenantQuota(
+        max_running=values[0], max_queued=values[1], workers=values[2]
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.core.server import start_server
+    from repro.core.service import OptimizationService
+
+    quotas = {}
+    try:
+        for text in args.quota or []:
+            tenant, quota = _parse_quota(text)
+            quotas[tenant] = quota
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        service = OptimizationService(
+            args.state_dir,
+            max_concurrent_studies=args.max_concurrent,
+            worker_budget=args.worker_budget,
+            policy=args.policy,
+            quotas=quotas,
+            preemption=not args.no_preemption,
+        )
+        server = start_server(service, args.host, args.port, verbose=args.verbose)
+    except (ValueError, KeyError) as exc:  # bad policy name / limits / port
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as exc:  # address in use, permission denied
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"serving on {server.url} (state dir {service.state_dir})", flush=True)
+
+    done = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: done.set())
+    signal.signal(signal.SIGINT, lambda *_: done.set())
+    done.wait()
+    # Clean shutdown: stop accepting HTTP, park running studies at their
+    # next iteration boundary (resumable checkpoints + journal), exit 0.
+    print("shutting down: parking running studies at checkpoint", flush=True)
+    server.shutdown()
+    service.shutdown(park_running=True)
+    return EXIT_OK
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core.client import ServiceClient, ServiceHTTPError
+
+    scenario_path = Path(args.scenario)
+    try:
+        scenario = Scenario.from_file(scenario_path)
+    except FileNotFoundError:
+        print(f"error: {scenario_path}: no such file", file=sys.stderr)
+        return EXIT_USAGE
+    except ScenarioError as exc:
+        print(f"error: {scenario_path}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    client = ServiceClient(args.url)
+
+    def _http_exit(exc: ServiceHTTPError) -> int:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE if exc.exit_code == 2 else EXIT_FAILED
+
+    try:
+        study_id = client.submit(
+            scenario.to_dict(), tenant=args.tenant, priority=args.priority
+        )
+    except ServiceHTTPError as exc:
+        return _http_exit(exc)
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    if not args.follow and not args.wait:
+        snapshot = client.status(study_id)
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(f"submitted {study_id} ({snapshot['status']})")
+        return EXIT_OK
+    exit_code: Optional[int] = None
+    try:
+        if args.follow:
+            for event in client.events(study_id):
+                print(json.dumps(event, sort_keys=True), flush=True)
+                if event.get("event") == "end":
+                    exit_code = event.get("exit_code")
+        snapshot = client.wait(study_id)
+        if exit_code is None:
+            exit_code = snapshot.get("exit_code")
+        # With --follow, stdout is a pure NDJSON event stream — route the
+        # human-readable summary to stderr so pipelines can consume it.
+        out = sys.stderr if args.follow else sys.stdout
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True), file=out)
+        elif snapshot["status"] in ("complete", "degraded"):
+            report = client.report(study_id)
+            print(
+                f"study {study_id} {snapshot['status']}: "
+                f"{report['n_evaluations']} evaluations, "
+                f"{report['n_pareto']} Pareto points (artifacts: {snapshot['run_dir']})",
+                file=out,
+            )
+        else:
+            print(
+                f"error: study {study_id} {snapshot['status']}"
+                + (f": {snapshot['error']}" if snapshot.get("error") else ""),
+                file=sys.stderr,
+            )
+    except ServiceHTTPError as exc:
+        return _http_exit(exc)
+    except OSError as exc:
+        print(f"error: lost connection to {args.url}: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    return EXIT_FAILED if exit_code is None else int(exit_code)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -527,6 +684,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list-plugins", help="show every registered plugin name")
     p_list.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p_list.set_defaults(fn=_cmd_list_plugins)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on optimization service (HTTP front door)"
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default="runs/service",
+        help="durable service state: queue journal + one run dir per study "
+        "(default runs/service); reuse it to resume after a crash",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (default 8765; 0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=1,
+        help="study slots running at once (default 1)",
+    )
+    p_serve.add_argument(
+        "--worker-budget",
+        type=int,
+        help="total evaluation workers split fairly across running studies",
+    )
+    p_serve.add_argument(
+        "--policy",
+        default="preempting",
+        help="admission policy from the schedule_policy registry (default 'preempting')",
+    )
+    p_serve.add_argument(
+        "--quota",
+        action="append",
+        metavar="TENANT=RUNNING[:QUEUED[:WORKERS]]",
+        help="per-tenant limits ('-' = unlimited field); repeatable",
+    )
+    p_serve.add_argument(
+        "--no-preemption",
+        action="store_true",
+        help="never park running studies for higher-priority submissions",
+    )
+    p_serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a scenario to a running service over HTTP"
+    )
+    p_submit.add_argument("scenario", help="path to a .json or .toml scenario")
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8765", help="service base URL"
+    )
+    p_submit.add_argument("--tenant", default="default", help="tenant to bill the study to")
+    p_submit.add_argument(
+        "--priority", type=int, default=0, help="admission priority (higher first)"
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true", help="block until the study finishes; exit with its code"
+    )
+    p_submit.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream NDJSON progress events until the study finishes (implies --wait)",
+    )
+    p_submit.add_argument("--json", action="store_true", help="emit the final snapshot as JSON")
+    p_submit.set_defaults(fn=_cmd_submit)
 
     return parser
 

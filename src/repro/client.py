@@ -1,0 +1,9 @@
+"""Public client import path: ``from repro.client import ServiceClient``.
+
+The implementation lives in :mod:`repro.core.client`; this module is the
+stable short spelling used by docs, examples, and downstream scripts.
+"""
+
+from repro.core.client import ServiceClient, ServiceHTTPError
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]

@@ -58,6 +58,7 @@ class _BaseSearch:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
         record_sink=None,
+        stop_requested=None,
     ) -> None:
         self.space = space
         self.objectives = objectives
@@ -66,6 +67,7 @@ class _BaseSearch:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.record_sink = record_sink
+        self.stop_requested = stop_requested
 
     @property
     def evaluator(self) -> EvaluationExecutor:
@@ -83,6 +85,7 @@ class _BaseSearch:
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
             record_sink=self.record_sink,
+            stop_requested=self.stop_requested,
             seed=self.seed,
             rng_label=self.rng_label,
             **kwargs,
@@ -601,6 +604,7 @@ def _baseline_builder(cls, algorithm: str, ctor_keys: Sequence[str], budget_requ
             checkpoint_path=ctx.checkpoint_path,
             checkpoint_every=ctx.checkpoint_every,
             record_sink=ctx.record_sink,
+            stop_requested=ctx.stop_requested,
             **ctor,
         )
         run_kwargs: Dict[str, object] = {}

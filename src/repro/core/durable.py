@@ -267,6 +267,48 @@ def read_jsonl(path: Union[str, Path], *, tolerate_torn_tail: bool = True) -> Li
     return scan.records
 
 
+class JsonlLogger:
+    """Append-only, crash-safe JSONL event log (the service's queue journal).
+
+    Each :meth:`append` writes one compact, newline-terminated JSON line,
+    flushes it, and (by default) ``fsync``\\ s — so a SIGKILL at any
+    instruction leaves the file ending at an event boundary, except possibly
+    a torn final line, which :func:`scan_jsonl` readers drop.  Appends are
+    serialized by an internal mutex, making the logger safe to share across
+    the service's dispatcher and runner threads.
+    """
+
+    def __init__(self, path: Union[str, Path], *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._fh = None
+
+    def append(self, record: Any) -> None:
+        """Durably append one event record."""
+        line = json.dumps(to_jsonable(record), sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JsonlLogger":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 def repair_jsonl(path: Union[str, Path]) -> Optional[str]:
     """Truncate a JSONL file back to its last complete record.
 
@@ -357,5 +399,6 @@ __all__ = [
     "scan_jsonl",
     "read_jsonl",
     "repair_jsonl",
+    "JsonlLogger",
     "FileLock",
 ]

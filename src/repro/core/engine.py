@@ -62,6 +62,22 @@ def record_timing_enabled() -> bool:
     return os.environ.get(RECORD_TIMING_ENV, "").strip().lower() in {"1", "true", "yes", "on"}
 
 
+class SearchPreempted(RuntimeError):
+    """The run was parked at an iteration boundary by its ``stop_requested`` hook.
+
+    Raised *after* a resumable checkpoint has been written (when the driver
+    has a ``checkpoint_path``), so the caller can resume the run later —
+    bit-identically — through the normal ``resume_from`` path.  This is the
+    cheap-preemption primitive the live optimization service uses to park a
+    lower-priority study while a higher-priority submission takes its slot.
+    """
+
+    def __init__(self, reason: str = "preempted", iteration: int = 0) -> None:
+        self.reason = reason
+        self.iteration = iteration
+        super().__init__(f"search parked at iteration boundary {iteration} ({reason})")
+
+
 @dataclass
 class ActiveLearningReport:
     """Per-iteration statistics of the search loop."""
@@ -245,6 +261,13 @@ class SearchDriver:
     checkpoint_path / checkpoint_every:
         When set, a resumable :class:`RunState` is written after the
         bootstrap and after every ``checkpoint_every``-th iteration.
+    stop_requested:
+        Optional zero-argument callable polled at every iteration boundary.
+        When it returns true the driver writes a resumable checkpoint and
+        raises :class:`SearchPreempted` — cooperative preemption for the
+        live service (a parked run resumes bit-identically via
+        ``run(resume_from=...)``).  Purely-bootstrap searches (no
+        active-learning loop) have no boundaries and run to completion.
     seed / rng_label:
         Master seed; the run stream is ``derive_seed(seed, rng_label)``.
     """
@@ -269,6 +292,7 @@ class SearchDriver:
         checkpoint_every: int = 1,
         compute_reports: bool = True,
         record_sink: Optional[Callable[[EvaluationRecord], None]] = None,
+        stop_requested: Optional[Callable[[], bool]] = None,
         seed: RandomState = None,
         rng_label: str = "search",
     ) -> None:
@@ -303,6 +327,8 @@ class SearchDriver:
         #: persistence, e.g. a study's ``history.jsonl``).  Restored
         #: checkpoint records and warm-start histories are *not* re-emitted.
         self.record_sink = record_sink
+        #: Cooperative-preemption poll (see the class docstring).
+        self.stop_requested = stop_requested
         self.seed = seed
         self.rng_label = rng_label
         # Checkpoint-compatibility fingerprint.  Only deterministic seed
@@ -412,6 +438,17 @@ class SearchDriver:
         record_timing = record_timing_enabled()
         iteration = start_iteration - 1
         while acquisition is not None and not budget_stop and not converged:
+            if self.stop_requested is not None and self.stop_requested():
+                # Park at the iteration boundary: the checkpoint written here
+                # is byte-equivalent to the last end-of-iteration checkpoint
+                # (nothing has mutated since), so resuming it continues the
+                # run bit-identically — the same invariant the kill/resume
+                # tests pin, minus the torn tail.
+                self._save_checkpoint(
+                    state, reports, pending, pool_rng_state, pool_include,
+                    iteration, budget_stop, reference,
+                )
+                raise SearchPreempted("stop requested", iteration)
             iteration += 1
             if self.max_iterations is not None and iteration > self.max_iterations:
                 break
@@ -727,6 +764,7 @@ __all__ = [
     "HyperMapperResult",
     "SearchState",
     "SearchDriver",
+    "SearchPreempted",
     "CHECKPOINT_VERSION",
     "RECORD_TIMING_ENV",
     "record_timing_enabled",

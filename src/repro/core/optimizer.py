@@ -122,6 +122,7 @@ class HyperMapper:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
         record_sink=None,
+        stop_requested=None,
     ) -> None:
         if n_random_samples < 1:
             raise ValueError("n_random_samples must be >= 1")
@@ -165,6 +166,7 @@ class HyperMapper:
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             record_sink=record_sink,
+            stop_requested=stop_requested,
             seed=seed,
             rng_label="hypermapper",
         )
@@ -241,6 +243,7 @@ def _build_hypermapper(ctx: SearchContext) -> HyperMapper:
         checkpoint_path=ctx.checkpoint_path,
         checkpoint_every=ctx.checkpoint_every,
         record_sink=ctx.record_sink,
+        stop_requested=ctx.stop_requested,
     )
 
 

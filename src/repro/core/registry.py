@@ -241,6 +241,10 @@ class SearchContext:
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
     record_sink: Optional[Callable[[Any], None]] = None
+    #: Cooperative-preemption poll forwarded to the search driver: checked at
+    #: iteration boundaries; a true return parks the run behind a resumable
+    #: checkpoint (see :class:`repro.core.engine.SearchPreempted`).
+    stop_requested: Optional[Callable[[], bool]] = None
 
 
 def registry_snapshot() -> Dict[str, List[str]]:

@@ -20,6 +20,12 @@ Admission order is a pluggable policy (:data:`SCHEDULE_POLICY_REGISTRY`):
 * ``"fair_share"`` (default) — round-robin across tenants: the tenant with
   the fewest admitted studies goes next, ties broken by submission order.
   With a single tenant this degenerates to FIFO.
+* ``"preempting"`` — highest priority first (submissions carry an integer
+  ``priority``, higher wins; missing = 0), ties broken by submission order.
+  The live service pairs this admission order with actual preemption:
+  when every slot is busy, a strictly lower-priority *running* study is
+  parked at its next iteration boundary to make room (see
+  :mod:`repro.core.service`).
 
 Policies only choose *which queued study starts next*; they never affect a
 study's result.
@@ -62,6 +68,32 @@ def fair_share_policy(
     best_key = None
     for i, submission in enumerate(pending):
         key = (started_per_tenant.get(submission.tenant, 0), i)
+        if best_key is None or key < best_key:
+            best, best_key = i, key
+    return best
+
+
+def submission_priority(submission: Any) -> int:
+    """Admission priority of a submission (higher wins; absent/None = 0)."""
+    priority = getattr(submission, "priority", 0)
+    return 0 if priority is None else int(priority)
+
+
+@register_schedule_policy("preempting")
+def preempting_policy(
+    pending: Sequence["StudySubmission"], started_per_tenant: Mapping[str, int]
+) -> int:
+    """Admit the highest-priority submission; ties break by queue position.
+
+    The admission half of the live service's priority scheme — the policy
+    itself never parks anything (policies only pick from the *pending*
+    queue); the service layer performs the matching preemption of running
+    studies.  Usable as a plain batch policy too: a priority-ordered FIFO.
+    """
+    best = 0
+    best_key = None
+    for i, submission in enumerate(pending):
+        key = (-submission_priority(submission), i)
         if best_key is None or key < best_key:
             best, best_key = i, key
     return best
@@ -141,6 +173,9 @@ class StudySubmission:
         When set and ``run_dir`` already holds a complete run, the result is
         reloaded without re-running; an incomplete run dir resumes from its
         checkpoint; anything else runs fresh.
+    priority:
+        Admission priority (higher wins) read by the ``"preempting"``
+        policy; other policies ignore it.
     evaluate / runner / executor:
         Host bindings forwarded to :class:`~repro.core.study.Study`.
     """
@@ -150,6 +185,7 @@ class StudySubmission:
     run_dir: Optional[Union[str, Path]] = None
     tenant: str = "default"
     resume: bool = False
+    priority: int = 0
     evaluate: Optional[Callable] = None
     runner: Any = None
     executor: Any = None
@@ -348,6 +384,32 @@ class StudyScheduler:
         """Run a single submission crash-isolated (never raises)."""
         return self._run_one(submission)
 
+    def serve(self, state_dir: Union[str, Path], **service_kwargs: Any):
+        """Open this scheduler as an always-on, multi-tenant live queue.
+
+        Unlike :meth:`run` (closed batch: exits when the submission list
+        drains) the returned :class:`~repro.core.service.OptimizationService`
+        keeps accepting :class:`StudySubmission`-shaped work while studies
+        run — its dispatcher blocks on a condition variable when the queue
+        is momentarily empty instead of exiting.  The scheduler's slot
+        count, worker budget and admission policy carry over; quotas,
+        preemption and crash-safe queue journaling are the service's
+        (``state_dir`` holds the journal and one run dir per study).  The
+        service is returned *started*; call ``shutdown()`` (or use it as a
+        context manager) to park running studies and journal the queue.
+        """
+        from repro.core.service import OptimizationService
+
+        service = OptimizationService(
+            state_dir,
+            max_concurrent_studies=self.max_concurrent_studies,
+            worker_budget=self.worker_budget,
+            policy=self.policy,
+            **service_kwargs,
+        )
+        service.start()
+        return service
+
     # -- one study, crash-isolated ---------------------------------------------
     def _run_one(self, submission: StudySubmission) -> StudyOutcome:
         last_error = "unknown error"
@@ -430,4 +492,6 @@ __all__ = [
     "map_ordered",
     "fifo_policy",
     "fair_share_policy",
+    "preempting_policy",
+    "submission_priority",
 ]

@@ -1,0 +1,247 @@
+"""HTTP/JSON front door for the live optimization service.
+
+A deliberately small stdlib-only layer (``http.server.ThreadingHTTPServer``
+— no third-party web framework) that maps
+:class:`~repro.core.service.OptimizationService` onto a JSON API:
+
+==========  =============================  =========================================
+method      path                           semantics
+==========  =============================  =========================================
+``GET``     ``/healthz``                   liveness + queue counters
+``GET``     ``/v1/plugins``                registry snapshot — byte-identical to
+                                           ``repro list-plugins --json`` (one
+                                           serializer: ``registry_snapshot()``)
+``GET``     ``/v1/studies``                every study's status snapshot
+``POST``    ``/v1/studies``                validate + enqueue; returns ``202`` with
+                                           the study id
+``GET``     ``/v1/studies/{id}``           status snapshot (includes ``exit_code``
+                                           once terminal)
+``GET``     ``/v1/studies/{id}/report``    the finished study's report JSON
+``GET``     ``/v1/studies/{id}/events``    streaming NDJSON progress events
+                                           (``?follow=0`` for just the backlog)
+``DELETE``  ``/v1/studies/{id}``           cancel (at the next iteration boundary
+                                           when running)
+==========  =============================  =========================================
+
+``POST /v1/studies`` accepts either a bare scenario document or an envelope
+``{"scenario": {...}, "tenant": "...", "priority": N}``.
+
+Error statuses mirror the CLI's exit codes (see the table in
+:mod:`repro.cli`): unusable input — the CLI's exit ``2`` — is ``400``
+(malformed JSON) or ``422`` (validation; the body carries the
+JSON-pointer ``path`` from :class:`~repro.core.scenario.ScenarioError`);
+state conflicts such as an exhausted tenant quota or canceling a finished
+study — the CLI's exit ``1`` family — are ``409``; unknown ids are ``404``;
+a draining server is ``503``; anything unexpected is ``500``.  Every error
+body is ``{"error": {"message": ..., "path": ...?}, "exit_code": 1|2}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.scenario import ScenarioError
+from repro.core.service import (
+    OptimizationService,
+    ServiceConflictError,
+    ServiceUnavailableError,
+    UnknownStudyError,
+)
+
+
+def _error_body(message: str, *, exit_code: int, path: Optional[str] = None) -> Dict[str, Any]:
+    error: Dict[str, Any] = {"message": message}
+    if path is not None:
+        error["path"] = path
+    return {"error": error, "exit_code": exit_code}
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """One HTTP listener bound to one :class:`OptimizationService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: OptimizationService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        display = "127.0.0.1" if host in ("0.0.0.0", "") else host
+        return f"http://{display}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+    server: ServiceHTTPServer  # narrowed for type checkers
+
+    # -- plumbing --------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, code: int, payload: Any) -> None:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        split = urlsplit(self.path)
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        return split.path.rstrip("/") or "/", query
+
+    # -- request handling ------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler contract
+        path, query = self._route()
+        try:
+            if path == "/healthz":
+                self._send_json(200, self.server.service.health())
+            elif path == "/v1/plugins":
+                self._send_json(200, self.server.service.plugins())
+            elif path == "/v1/studies":
+                self._send_json(200, {"studies": self.server.service.list_studies()})
+            elif path.startswith("/v1/studies/") and path.endswith("/events"):
+                study_id = path[len("/v1/studies/"):-len("/events")]
+                self._stream_events(study_id, query)
+            elif path.startswith("/v1/studies/") and path.endswith("/report"):
+                study_id = path[len("/v1/studies/"):-len("/report")]
+                self._send_json(200, self.server.service.report(study_id))
+            elif path.startswith("/v1/studies/"):
+                study_id = path[len("/v1/studies/"):]
+                self._send_json(200, self.server.service.status(study_id))
+            else:
+                self._send_json(404, _error_body(f"no route {path!r}", exit_code=2))
+        except Exception as exc:  # noqa: BLE001 — mapped to a status below
+            self._send_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802
+        path, _ = self._route()
+        if path != "/v1/studies":
+            self._send_json(404, _error_body(f"no route {path!r}", exit_code=2))
+            return
+        raw = self._read_body()
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, _error_body(f"request body is not JSON: {exc}", exit_code=2))
+            return
+        if not isinstance(document, dict):
+            self._send_json(
+                400, _error_body("request body must be a JSON object", exit_code=2)
+            )
+            return
+        # Envelope or bare scenario: an envelope nests the document under
+        # "scenario"; a bare scenario is one itself (it has no such key).
+        if "scenario" in document:
+            scenario = document["scenario"]
+            tenant = str(document.get("tenant", "default"))
+            try:
+                priority = int(document.get("priority", 0))
+            except (TypeError, ValueError):
+                self._send_json(
+                    422, _error_body("priority must be an integer", exit_code=2, path="/priority")
+                )
+                return
+        else:
+            scenario, tenant, priority = document, "default", 0
+        try:
+            study_id = self.server.service.submit(scenario, tenant=tenant, priority=priority)
+        except Exception as exc:  # noqa: BLE001
+            self._send_error(exc)
+            return
+        self._send_json(202, self.server.service.status(study_id))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path, _ = self._route()
+        if not path.startswith("/v1/studies/"):
+            self._send_json(404, _error_body(f"no route {path!r}", exit_code=2))
+            return
+        study_id = path[len("/v1/studies/"):]
+        try:
+            self._send_json(200, self.server.service.cancel(study_id))
+        except Exception as exc:  # noqa: BLE001
+            self._send_error(exc)
+
+    def _stream_events(self, study_id: str, query: Dict[str, str]) -> None:
+        follow = query.get("follow", "1") not in ("0", "false", "no")
+        timeout = float(query["timeout"]) if "timeout" in query else None
+        # Raise 404 for unknown ids *before* committing to a 200 stream.
+        self.server.service.status(study_id)
+        events = self.server.service.events(study_id, follow=follow, timeout=timeout)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        # Streams have no length; close the connection to delimit the body.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            for event in events:
+                line = json.dumps(event, sort_keys=True) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up; the study keeps running
+
+    def _send_error(self, exc: Exception) -> None:
+        if isinstance(exc, UnknownStudyError):
+            self._send_json(404, _error_body(str(exc), exit_code=2))
+        elif isinstance(exc, ScenarioError):
+            self._send_json(422, _error_body(exc.reason, exit_code=2, path=exc.path))
+        elif isinstance(exc, ServiceUnavailableError):
+            self._send_json(503, _error_body(str(exc), exit_code=1))
+        elif isinstance(exc, ServiceConflictError):
+            self._send_json(409, _error_body(str(exc), exit_code=1))
+        elif isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            pass  # nothing left to write to
+        else:
+            self._send_json(
+                500, _error_body(f"{type(exc).__name__}: {exc}", exit_code=1)
+            )
+
+
+def start_server(
+    service: OptimizationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Start the service (if needed) and serve it on a daemon thread.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` / ``server.url`` (how the tests avoid
+    collisions).  Returns the running :class:`ServiceHTTPServer`; call
+    ``server.shutdown()`` then ``service.shutdown()`` to stop.
+    """
+    service.start()
+    server = ServiceHTTPServer((host, port), service, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server
+
+
+__all__ = ["ServiceHTTPServer", "start_server"]

@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.engine import ActiveLearningReport, HyperMapperResult
+from repro.core.engine import ActiveLearningReport, HyperMapperResult, SearchPreempted
 from repro.core.executor import EvaluationExecutor
 from repro.core.faults import (
     FaultInjectingEvaluator,
@@ -98,7 +98,9 @@ def run_status(run_dir: Union[str, Path]) -> Optional[str]:
 
     ``"complete"``, ``"degraded"`` (finished, but some configurations were
     quarantined with penalty metrics), ``"running"`` (killed mid-run or
-    live), ``"failed"``, or ``None`` when the directory holds no readable
+    live), ``"parked"`` (preempted at an iteration boundary behind a
+    resumable checkpoint — the live service's cheap-preemption state),
+    ``"failed"``, or ``None`` when the directory holds no readable
     run metadata.  This is the cheap completeness probe the sweep scheduler
     uses to decide whether a point needs (re-)running — no history is parsed.
     """
@@ -423,6 +425,7 @@ class Study:
         self,
         checkpoint_path: Optional[str] = None,
         record_sink: Optional[Callable[[EvaluationRecord], None]] = None,
+        stop_requested: Optional[Callable[[], bool]] = None,
     ) -> CompiledStudy:
         """Resolve every plugin and build the engine stack (no run)."""
         scenario = self.scenario
@@ -506,6 +509,7 @@ class Study:
             checkpoint_path=checkpoint_path,
             checkpoint_every=scenario.checkpoint_spec["every"],
             record_sink=record_sink,
+            stop_requested=stop_requested,
         )
         return CompiledStudy(
             space=space,
@@ -523,6 +527,7 @@ class Study:
         resume_from: Optional[str] = None,
         initial_history: Optional[History] = None,
         checkpoint_path: Optional[str] = None,
+        stop_requested: Optional[Callable[[], bool]] = None,
     ) -> StudyResult:
         """Execute the study, persisting a run directory when ``run_dir`` is set.
 
@@ -530,6 +535,10 @@ class Study:
         (:meth:`Study.resume` derives it from the run directory);
         ``checkpoint_path`` overrides the default
         ``<run_dir>/checkpoints/engine.json`` location for dir-less runs.
+        ``stop_requested`` is polled at iteration boundaries: a true return
+        parks the run — a resumable checkpoint is written, ``run.json``
+        records status ``"parked"``, and :class:`SearchPreempted` propagates
+        to the caller (the live service's preemption path).
         """
         run_path = Path(run_dir) if run_dir is not None else None
         writer: Optional[_HistoryWriter] = None
@@ -553,6 +562,7 @@ class Study:
         compiled = self.compile(
             checkpoint_path=checkpoint_path,
             record_sink=writer.write if writer is not None else None,
+            stop_requested=stop_requested,
         )
         if writer is not None:
             assert run_path is not None
@@ -578,6 +588,14 @@ class Study:
             engine_result: HyperMapperResult = compiled.search.run(
                 initial_history=initial_history, resume_from=resume_from
             )
+        except SearchPreempted:
+            # Parked, not failed: a resumable checkpoint was written at the
+            # iteration boundary before the driver raised.  The streamed
+            # history stays exactly where a graceful kill would leave it
+            # (no torn tail), so Study.resume continues bit-identically.
+            if run_path is not None:
+                self._write_run_meta(run_path, status="parked")
+            raise
         except BaseException:
             if run_path is not None:
                 self._write_run_meta(run_path, status="failed")
@@ -625,12 +643,15 @@ class Study:
         evaluate: Optional[Callable] = None,
         runner: Optional[Any] = None,
         executor: Optional[EvaluationExecutor] = None,
+        stop_requested: Optional[Callable[[], bool]] = None,
     ) -> StudyResult:
         """Continue a persisted run from its engine checkpoint.
 
         A run directory whose checkpoint is already terminal simply replays
         to the identical result; a directory without a checkpoint (killed
         before the bootstrap finished) starts the scenario from scratch.
+        ``stop_requested`` lets the resumed run itself be parked again (see
+        :meth:`Study.run`).
         """
         run_path = Path(run_dir)
         scenario_path = run_path / SCENARIO_FILE
@@ -641,7 +662,7 @@ class Study:
         )
         checkpoint = run_path / CHECKPOINT_DIR / CHECKPOINT_FILE
         resume_from = str(checkpoint) if checkpoint.exists() else None
-        return study.run(run_dir=run_path, resume_from=resume_from)
+        return study.run(run_dir=run_path, resume_from=resume_from, stop_requested=stop_requested)
 
     # -- run-dir plumbing ------------------------------------------------------
     def _write_run_meta(self, run_path: Path, status: str, engine: Optional[Dict] = None) -> None:

@@ -14,6 +14,7 @@ Acceptance criteria covered:
 
 import json
 import shutil
+from pathlib import Path
 
 import pytest
 
@@ -480,6 +481,50 @@ class TestScheduler:
             StudyScheduler(max_concurrent_studies=0)
         with pytest.raises(ValueError):
             StudyScheduler(worker_budget=0)
+
+
+class TestLiveScheduling:
+    """The PR-5 per-study bit-identity invariant, extended to the live path:
+    a scheduler opened into serve() mode — concurrent slots, priorities,
+    preemption and all — must persist the same ``history.jsonl`` bytes the
+    batch scheduler and standalone ``Study.run`` produce."""
+
+    def test_serve_mode_matches_batch_scheduler_and_standalone(self, tmp_path):
+        scenarios = [base_scenario(budget=6) | {"seed": seed} for seed in (3, 5, 7)]
+        standalone = [
+            Study(s, evaluate=toy_evaluate).run(
+                run_dir=tmp_path / "standalone" / str(s["seed"])
+            )
+            for s in scenarios
+        ]
+        outcomes = StudyScheduler(max_concurrent_studies=3).run(
+            [
+                StudySubmission(
+                    key=f"p{s['seed']}",
+                    scenario=s,
+                    run_dir=tmp_path / "batch" / str(s["seed"]),
+                    evaluate=toy_evaluate,
+                )
+                for s in scenarios
+            ]
+        )
+        service = StudyScheduler(max_concurrent_studies=3, policy="preempting").serve(
+            tmp_path / "live", evaluate=toy_evaluate, journal_fsync=False
+        )
+        try:
+            ids = [
+                service.submit(s, tenant=f"t{i % 2}", priority=i)
+                for i, s in enumerate(scenarios)
+            ]
+            for ref, outcome, sid in zip(standalone, outcomes, ids):
+                assert service.wait(sid, timeout=120) == "complete"
+                history = (
+                    Path(service.status(sid)["run_dir"]) / "history.jsonl"
+                ).read_bytes()
+                assert history == (Path(ref.run_dir) / "history.jsonl").read_bytes()
+                assert hist_dump(outcome.result) == hist_dump(ref)
+        finally:
+            service.shutdown()
 
 
 class TestExperimentSweeps:
