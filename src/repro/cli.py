@@ -21,6 +21,13 @@ Subcommands
     these on one sweep directory to drain it cooperatively; a worker that
     dies loses its lease heartbeats and survivors take its points over
     (see ``docs/distributed.md``).
+``eval-worker --connect HOST:PORT``
+    Join a running study's evaluation broker as one worker (the socket
+    backend's remote half): handshake, heartbeat, drain evaluation tasks
+    until the broker shuts down.  Launch N of these — on any host that can
+    reach the broker — to drain one study's queue cooperatively; a killed
+    worker's in-flight evaluation is resubmitted by the broker's executor
+    (see ``docs/distributed.md``).
 ``doctor <run_or_sweep_dir>``
     Detect and repair crash residue: torn ``history.jsonl`` tails, stranded
     ``*.tmp`` files, orphaned/expired leases, corrupt lease checksums.
@@ -578,6 +585,47 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return EXIT_FAILED if exit_code is None else int(exit_code)
 
 
+def _cmd_eval_worker(args: argparse.Namespace) -> int:
+    from repro.core.transport import EvalWorker, HandshakeError, TransportError
+
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host:
+        print(f"error: --connect expects HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --connect port must be an integer, got {port_text!r}", file=sys.stderr)
+        return EXIT_USAGE
+    if not 0 < port <= 65535:
+        print(f"error: --connect port out of range: {port}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.max_tasks is not None and args.max_tasks < 1:
+        print("error: --max-tasks must be >= 1", file=sys.stderr)
+        return EXIT_USAGE
+    worker = EvalWorker(
+        host,
+        port,
+        name=args.name,
+        connect_timeout_s=args.connect_timeout,
+        max_tasks=args.max_tasks,
+    )
+    try:
+        worker_id = worker.connect()
+    except (HandshakeError, TransportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    # Parsed by supervisors and the SIGKILL drill: the worker is live.
+    print(f"eval-worker {worker_id} serving {host}:{port}", flush=True)
+    clean = worker.run()
+    if clean:
+        if not args.quiet:
+            print(f"eval-worker {worker_id}: broker finished, exiting")
+        return EXIT_OK
+    print(f"error: eval-worker {worker_id} lost the broker at {host}:{port}", file=sys.stderr)
+    return EXIT_FAILED
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -661,6 +709,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_worker.add_argument("--quiet", action="store_true", help="suppress progress lines")
     p_worker.set_defaults(fn=_cmd_sweep_worker)
+
+    p_eval_worker = sub.add_parser(
+        "eval-worker",
+        help="join a study's evaluation broker as one socket-backend worker",
+    )
+    p_eval_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="broker address (the study's executor.transport, or its announce file)",
+    )
+    p_eval_worker.add_argument("--name", help="worker name shown in broker diagnostics")
+    p_eval_worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to retry the initial connection (default 30)",
+    )
+    p_eval_worker.add_argument(
+        "--max-tasks", type=int, help="exit cleanly after serving this many evaluations"
+    )
+    p_eval_worker.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    p_eval_worker.set_defaults(fn=_cmd_eval_worker)
 
     p_doctor = sub.add_parser(
         "doctor", help="detect and repair crash residue in a run or sweep directory"

@@ -156,11 +156,12 @@ class WorkerPoolLifecycle:
     _closed: bool = False
 
     @staticmethod
-    def _validate_pool_args(n_workers: int, backend: str) -> None:
+    def _validate_pool_args(n_workers: int, backend: str, allow_socket: bool = False) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
-        if backend not in ("thread", "process"):
-            raise ValueError("backend must be 'thread' or 'process'")
+        allowed = ("thread", "process", "socket") if allow_socket else ("thread", "process")
+        if backend not in allowed:
+            raise ValueError(f"backend must be one of {allowed!r}")
 
     def _get_pool(self) -> concurrent.futures.Executor:
         if self._closed:

@@ -36,7 +36,7 @@ configuration's identity so failures are attributable at a glance.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.evaluator import (
     EvaluationBudgetExceeded,
@@ -57,6 +57,19 @@ from repro.core.faults import (
 )
 from repro.core.objectives import ObjectiveSet
 from repro.core.space import Configuration
+from repro.core.transport import (
+    DEFAULT_TRANSPORT,
+    BrokerPool,
+    EvaluationBroker,
+    SharedBrokerPool,
+    WorkerDied,
+    spawn_local_workers,
+)
+
+#: Without a :class:`FaultPolicy`, a configuration whose socket worker dies
+#: mid-evaluation is silently resubmitted up to this many times before the
+#: executor gives up with a :class:`~repro.core.faults.WorkerCrash`.
+DEFAULT_WORKER_DEATH_RESUBMITS = 3
 
 
 def _call_evaluator(evaluator: Evaluator, config: Configuration) -> MetricDict:
@@ -131,7 +144,21 @@ class EvaluationExecutor(WorkerPoolLifecycle):
         the fully serial, bit-reproducible reference path.
     backend:
         ``"thread"`` (default; the SLAM simulators release the GIL inside
-        NumPy kernels) or ``"process"`` for pure-Python evaluation functions.
+        NumPy kernels), ``"process"`` for pure-Python evaluation functions,
+        or ``"socket"`` to drain the batch through an
+        :class:`~repro.core.transport.EvaluationBroker` served by
+        ``repro eval-worker`` processes (possibly on other hosts).
+    transport:
+        Socket-backend wiring (``backend="socket"`` only): ``host``/``port``
+        to bind, ``heartbeat_s``, ``workers`` (``"local"`` spawns in-process
+        worker threads over loopback TCP; ``"external"`` waits for remote
+        ``repro eval-worker`` connections), and an optional ``announce_file``
+        the broker writes its bound address to.
+    broker:
+        An already-running :class:`~repro.core.transport.EvaluationBroker`
+        to share (``backend="socket"`` only).  The executor then never owns
+        the transport: ``close()`` leaves the broker and its workers up for
+        other studies.
     max_evaluations:
         Unified evaluation budget.  ``None`` adopts the wrapped evaluator's
         own ``max_evaluations`` when it has one, so the budget is enforced
@@ -159,6 +186,8 @@ class EvaluationExecutor(WorkerPoolLifecycle):
         max_evaluations: Optional[int] = None,
         cache: bool = True,
         fault_policy: Optional[FaultPolicy] = None,
+        transport: Optional[Mapping[str, Any]] = None,
+        broker: Optional[EvaluationBroker] = None,
     ) -> None:
         if isinstance(evaluator, Evaluator):
             self._inner = evaluator
@@ -168,9 +197,13 @@ class EvaluationExecutor(WorkerPoolLifecycle):
                 raise ValueError("objectives are required when wrapping a plain callable")
             self._inner = FunctionEvaluator(evaluator, objectives)
             self.objectives = objectives
-        self._validate_pool_args(n_workers, backend)
+        self._validate_pool_args(n_workers, backend, allow_socket=True)
+        if backend != "socket" and (transport is not None or broker is not None):
+            raise ValueError("transport/broker are only valid with backend='socket'")
         self.n_workers = int(n_workers)
         self.backend = backend
+        self._transport = dict(DEFAULT_TRANSPORT, **dict(transport or {}))
+        self._shared_broker = broker
         if max_evaluations is None:
             max_evaluations = getattr(self._inner, "max_evaluations", None)
         self.max_evaluations = max_evaluations
@@ -263,7 +296,9 @@ class EvaluationExecutor(WorkerPoolLifecycle):
             if self.max_evaluations is not None and self._planned >= self.max_evaluations:
                 break
             self._planned += 1
-            if self.n_workers == 1:
+            # The socket backend always crosses the wire (a 1-worker socket
+            # run is a genuinely remote run, not an inline shortcut).
+            if self.n_workers == 1 and self.backend != "socket":
                 metrics, attempts = self._evaluate_inline(config)
                 if self._use_cache:
                     self._cache[config] = metrics
@@ -278,6 +313,41 @@ class EvaluationExecutor(WorkerPoolLifecycle):
                 batch_inflight[config] = future
             futures.append(future)
         return futures, len(futures)
+
+    def _get_pool(self):
+        if self.backend != "socket":
+            return super()._get_pool()
+        if self._closed:
+            raise RuntimeError(f"this {type(self).__name__} has been closed")
+        if self._pool is None:
+            if self._shared_broker is not None:
+                self._pool = SharedBrokerPool(self._shared_broker)
+            else:
+                spec = self._transport
+                broker = EvaluationBroker(
+                    spec["host"],
+                    spec["port"],
+                    heartbeat_s=spec["heartbeat_s"],
+                    announce_file=spec.get("announce_file"),
+                ).start()
+                threads = (
+                    spawn_local_workers(broker.address, self.n_workers)
+                    if spec.get("workers", "local") == "local"
+                    else []
+                )
+                self._pool = BrokerPool(broker, threads)
+        return self._pool
+
+    @property
+    def broker(self) -> Optional[EvaluationBroker]:
+        """The live broker behind ``backend="socket"`` (``None`` otherwise).
+
+        Accessing it materializes the owned broker, so callers can announce
+        its address before the first batch is submitted.
+        """
+        if self.backend != "socket":
+            return None
+        return self._get_pool().broker
 
     def _submit_async(self, config: Configuration) -> concurrent.futures.Future:
         # The module-level helpers keep the submission picklable for the
@@ -316,6 +386,8 @@ class EvaluationExecutor(WorkerPoolLifecycle):
                 raise
             except concurrent.futures.BrokenExecutor as exc:
                 self._recover_from_crash(future, exc)
+            except WorkerDied as exc:
+                self._recover_from_worker_death(future, exc)
             except EvaluationFault:
                 raise
             except Exception as exc:
@@ -363,6 +435,57 @@ class EvaluationExecutor(WorkerPoolLifecycle):
                     config=f.config,
                 )
                 f._cf = None
+
+    def _recover_from_worker_death(self, future: EvalFuture, exc: WorkerDied) -> None:
+        """Resubmit (bounded) an evaluation lost to a dead socket worker.
+
+        Unlike a broken process pool — where *which* configuration poisoned
+        the pool is unknowable and every victim gets a ``crash`` attempt
+        entry — a dead socket worker is an attributable infrastructure
+        failure that loses exactly one dispatched task.  Transient deaths
+        are therefore recovered *silently* (no attempt metadata), which is
+        what keeps a socket run's ``history.jsonl`` byte-identical to the
+        serial run even when a worker is SIGKILLed mid-batch.  Only when the
+        bound is exhausted does the faults taxonomy kick in: quarantine with
+        penalty metrics under a policy, else a raised
+        :class:`~repro.core.faults.WorkerCrash`.
+        """
+        config = future.config
+        # A duplicate future may share the dead wire-future with the fresh
+        # one; adopt whatever the fresh path already recovered instead of
+        # resubmitting the same configuration twice.
+        if self._use_cache and config in self._cache:
+            future._result = self._cache[config]
+            future._cf = None
+            return
+        pending = self._inflight.get(config)
+        if pending is not None and pending is not future and pending._cf is not future._cf:
+            future._result = pending._result
+            future._cf = pending._cf
+            future._error = pending._error
+            return
+        future._crashes += 1
+        policy = self.fault_policy
+        limit = policy.max_retries if policy is not None else DEFAULT_WORKER_DEATH_RESUBMITS
+        if future._crashes <= limit:
+            future._cf = self._submit_async(config)
+        elif policy is not None and policy.quarantine:
+            entry = {
+                "attempt": len(future.attempts or []),
+                "kind": KIND_CRASH,
+                "error": f"socket worker died mid-evaluation: {exc}",
+                "quarantined": True,
+            }
+            future.attempts = (future.attempts or []) + [entry]
+            future._result = policy.penalty_metrics(self.objectives)
+            future._cf = None
+        else:
+            future._error = WorkerCrash(
+                f"configuration {config_identity(config)} lost to dead socket "
+                f"workers {future._crashes} time(s): {exc}",
+                config=config,
+            )
+            future._cf = None
 
     # -- synchronous convenience --------------------------------------------------
     def evaluate(self, configs: Sequence[Configuration]) -> List[MetricDict]:

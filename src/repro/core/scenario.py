@@ -334,9 +334,42 @@ def _validate_search(section: Any, path: str) -> Dict[str, Any]:
     return out
 
 
+_TRANSPORT_KEYS = ("host", "port", "heartbeat_s", "workers", "announce_file")
+
+
+def _validate_transport(section: Any, path: str) -> Dict[str, Any]:
+    """The socket backend's ``executor.transport`` wiring.
+
+    Like ``faults``, this section is materialized (defaults filled in) only
+    when the executor backend is ``"socket"`` — thread/process scenario
+    documents stay byte-identical to earlier versions.
+    """
+    spec = _expect_mapping(section, path)
+    unknown = [k for k in spec if k not in _TRANSPORT_KEYS]
+    if unknown:
+        raise ScenarioError(f"{path}/{unknown[0]}", "unknown key in transport section")
+    out: Dict[str, Any] = {
+        "host": _expect_str(spec.get("host", "127.0.0.1"), f"{path}/host"),
+        "port": _expect_int(spec.get("port", 0), f"{path}/port", minimum=0),
+        "heartbeat_s": _expect_number(spec.get("heartbeat_s", 5.0), f"{path}/heartbeat_s"),
+        "workers": _expect_str(spec.get("workers", "local"), f"{path}/workers"),
+        "announce_file": None,
+    }
+    if out["port"] > 65535:
+        raise ScenarioError(f"{path}/port", "expected a TCP port in [0, 65535]")
+    if not out["heartbeat_s"] > 0:
+        raise ScenarioError(f"{path}/heartbeat_s", "expected a positive number of seconds")
+    if out["workers"] not in ("local", "external"):
+        raise ScenarioError(f"{path}/workers", "expected 'local' or 'external'")
+    announce = spec.get("announce_file")
+    if announce is not None:
+        out["announce_file"] = _expect_str(announce, f"{path}/announce_file")
+    return out
+
+
 def _validate_executor(section: Any, path: str) -> Dict[str, Any]:
     spec = _expect_mapping(section, path)
-    unknown = [k for k in spec if k not in ("n_workers", "backend", "overlap_fraction")]
+    unknown = [k for k in spec if k not in ("n_workers", "backend", "overlap_fraction", "transport")]
     if unknown:
         raise ScenarioError(f"{path}/{unknown[0]}", "unknown key in executor section")
     out: Dict[str, Any] = {
@@ -344,8 +377,12 @@ def _validate_executor(section: Any, path: str) -> Dict[str, Any]:
         "backend": _expect_str(spec.get("backend", "thread"), f"{path}/backend"),
         "overlap_fraction": None,
     }
-    if out["backend"] not in ("thread", "process"):
-        raise ScenarioError(f"{path}/backend", "expected 'thread' or 'process'")
+    if out["backend"] not in ("thread", "process", "socket"):
+        raise ScenarioError(f"{path}/backend", "expected 'thread', 'process', or 'socket'")
+    if out["backend"] == "socket":
+        out["transport"] = _validate_transport(spec.get("transport", {}), f"{path}/transport")
+    elif "transport" in spec:
+        raise ScenarioError(f"{path}/transport", "only valid with backend 'socket'")
     overlap = spec.get("overlap_fraction")
     if overlap is not None:
         overlap = _expect_number(overlap, f"{path}/overlap_fraction")

@@ -244,6 +244,7 @@ class StudyScheduler:
         policy: Union[str, Callable] = "fair_share",
         study_max_retries: int = 0,
         retry_backoff_s: float = 0.0,
+        broker: Optional[Any] = None,
     ) -> None:
         if int(max_concurrent_studies) < 1:
             raise ValueError("max_concurrent_studies must be >= 1")
@@ -258,6 +259,10 @@ class StudyScheduler:
         self.policy = SCHEDULE_POLICY_REGISTRY.get(policy) if isinstance(policy, str) else policy
         self.study_max_retries = int(study_max_retries)
         self.retry_backoff_s = float(retry_backoff_s)
+        # A shared EvaluationBroker: every socket-backend study scheduled here
+        # drains its evaluations through the one worker fleet. Lifecycle stays
+        # with the caller (the scheduler never shuts it down).
+        self.broker = broker
 
     @property
     def workers_per_study(self) -> Optional[int]:
@@ -455,6 +460,7 @@ class StudyScheduler:
                     evaluate=submission.evaluate,
                     runner=submission.runner,
                     executor=submission.executor,
+                    broker=self.broker,
                 )
                 return StudyOutcome(
                     key=submission.key,
@@ -474,6 +480,7 @@ class StudyScheduler:
             evaluate=submission.evaluate,
             runner=submission.runner,
             executor=submission.executor,
+            broker=self.broker,
         )
         result = study.run(run_dir=run_dir)
         return StudyOutcome(

@@ -227,6 +227,11 @@ class OptimizationService:
         submitted in-process).
     journal_fsync:
         Set false to skip per-event fsync (tests; production keeps it on).
+    broker:
+        A running :class:`~repro.core.transport.EvaluationBroker` shared by
+        every socket-backend study this service runs — the multi-host path:
+        one service, one broker, ``repro eval-worker`` fleets on any number
+        of machines.  The broker's lifecycle stays with the caller.
     """
 
     def __init__(
@@ -242,6 +247,7 @@ class OptimizationService:
         evaluate: Optional[Callable] = None,
         runner: Any = None,
         journal_fsync: bool = True,
+        broker: Optional[Any] = None,
     ) -> None:
         if int(max_concurrent_studies) < 1:
             raise ValueError("max_concurrent_studies must be >= 1")
@@ -259,6 +265,7 @@ class OptimizationService:
         self._evaluate = evaluate
         self._runner = runner
         self._journal_fsync = bool(journal_fsync)
+        self._broker = broker
 
         self._cond = threading.Condition()
         self._entries: Dict[str, StudyEntry] = {}
@@ -739,11 +746,12 @@ class OptimizationService:
                         entry.run_dir,
                         evaluate=evaluate,
                         runner=runner,
+                        broker=self._broker,
                         stop_requested=stop,
                     )
             else:
                 scenario = self._allotted(entry.scenario, entry.tenant)
-                result = Study(scenario, evaluate=evaluate, runner=runner).run(
+                result = Study(scenario, evaluate=evaluate, runner=runner, broker=self._broker).run(
                     run_dir=entry.run_dir, stop_requested=stop
                 )
             status = DEGRADED if result.is_degraded else COMPLETE

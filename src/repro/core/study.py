@@ -405,6 +405,12 @@ class Study:
         A pre-built :class:`~repro.core.executor.EvaluationExecutor` shared
         across studies (its memoized evaluations short-circuit duplicated
         bootstraps); overrides the scenario's ``executor``/``budget`` wiring.
+    broker:
+        A running :class:`~repro.core.transport.EvaluationBroker` the
+        study-owned executor should drain its evaluations through when the
+        scenario declares ``executor.backend: "socket"`` (the service and
+        scheduler pass their shared broker here).  The broker's lifecycle
+        stays with its owner.
     """
 
     def __init__(
@@ -414,11 +420,13 @@ class Study:
         evaluate: Optional[Callable] = None,
         runner: Optional[Any] = None,
         executor: Optional[EvaluationExecutor] = None,
+        broker: Optional[Any] = None,
     ) -> None:
         self.scenario = Scenario.coerce(scenario)
         self._evaluate = evaluate
         self._runner = runner
         self._executor = executor
+        self._broker = broker
 
     # -- compilation ----------------------------------------------------------
     def compile(
@@ -488,13 +496,16 @@ class Study:
                         if inject["seed"] is not None
                         else derive_seed(scenario.seed, "fault-injection"),
                     )
+            backend = executor_spec["backend"]
             executor = EvaluationExecutor(
                 fn,
                 objectives,
                 n_workers=executor_spec["n_workers"],
-                backend=executor_spec["backend"],
+                backend=backend,
                 max_evaluations=scenario.budget_spec["max_evaluations"],
                 fault_policy=fault_policy,
+                transport=executor_spec.get("transport") if backend == "socket" else None,
+                broker=self._broker if backend == "socket" else None,
             )
 
         search_spec = scenario.search_spec
@@ -643,6 +654,7 @@ class Study:
         evaluate: Optional[Callable] = None,
         runner: Optional[Any] = None,
         executor: Optional[EvaluationExecutor] = None,
+        broker: Optional[Any] = None,
         stop_requested: Optional[Callable[[], bool]] = None,
     ) -> StudyResult:
         """Continue a persisted run from its engine checkpoint.
@@ -658,7 +670,11 @@ class Study:
         if not scenario_path.exists():
             raise FileNotFoundError(f"{run_dir} is not a study run directory (no {SCENARIO_FILE})")
         study = cls(
-            Scenario.from_file(scenario_path), evaluate=evaluate, runner=runner, executor=executor
+            Scenario.from_file(scenario_path),
+            evaluate=evaluate,
+            runner=runner,
+            executor=executor,
+            broker=broker,
         )
         checkpoint = run_path / CHECKPOINT_DIR / CHECKPOINT_FILE
         resume_from = str(checkpoint) if checkpoint.exists() else None

@@ -132,17 +132,34 @@ class SlamBenchRunner:
         """Evaluate one configuration on one device (accuracy + runtime)."""
         return self.run_config(config).metrics_for(device)
 
-    def evaluation_function(self, device: DeviceModel) -> Callable[[Configuration], Dict[str, float]]:
-        """A ``config -> metrics`` callable bound to ``device`` (for HyperMapper)."""
+    def evaluation_function(self, device: DeviceModel) -> "BoundEvaluation":
+        """A ``config -> metrics`` callable bound to ``device`` (for HyperMapper).
 
-        def _evaluate(config: Configuration) -> Dict[str, float]:
-            return self.evaluate(config, device)
-
-        return _evaluate
+        Returns a picklable callable object rather than a closure so the same
+        evaluation function works on process pools and remote socket workers.
+        """
+        return BoundEvaluation(self, device)
 
     def make_evaluator(self, device: DeviceModel, objectives: ObjectiveSet, max_evaluations: Optional[int] = None) -> FunctionEvaluator:
         """A budgeted :class:`FunctionEvaluator` bound to ``device``."""
         return FunctionEvaluator(self.evaluation_function(device), objectives, max_evaluations=max_evaluations)
 
 
-__all__ = ["SlamRunRecord", "SlamBenchRunner"]
+class BoundEvaluation:
+    """Picklable ``config -> metrics`` callable binding a runner to a device.
+
+    Closures cannot cross process or socket boundaries; this object can —
+    each worker gets its own copy of the runner (with its own simulation
+    cache), which is fine because accuracy/runtime are deterministic in the
+    configuration and seeds.
+    """
+
+    def __init__(self, runner: SlamBenchRunner, device: DeviceModel) -> None:
+        self.runner = runner
+        self.device = device
+
+    def __call__(self, config: Configuration) -> Dict[str, float]:
+        return self.runner.evaluate(config, self.device)
+
+
+__all__ = ["SlamRunRecord", "SlamBenchRunner", "BoundEvaluation"]

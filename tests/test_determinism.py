@@ -8,8 +8,9 @@ parameter types, all 6 search algorithms × 3 acquisitions, asserting
 
 * **run-twice bit-identity** — the same scenario produces byte-identical
   histories on repeated runs,
-* **worker-count invariance** — ``n_workers ∈ {1, 2, 4}`` histories are
-  equal (submission-order gathering is what makes async == serial),
+* **worker-count and backend invariance** — ``n_workers ∈ {1, 2, 4}``
+  histories are equal across the thread, process, and socket executor
+  backends (submission-order gathering is what makes async == serial),
 * **kill-at-random-iteration / resume equality** — a run killed at any
   iteration boundary and resumed equals the uninterrupted run.
 
@@ -151,9 +152,12 @@ def hist_dump(result):
     return [(dict(r.config), r.metrics, r.source, r.iteration) for r in history.records]
 
 
-def run_history(scenario, n_workers=1):
-    if n_workers != 1:
-        scenario = dict(scenario, executor={"n_workers": n_workers})
+def run_history(scenario, n_workers=1, backend="thread"):
+    if n_workers != 1 or backend != "thread":
+        executor = {"n_workers": n_workers, "backend": backend}
+        if backend == "socket":
+            executor["transport"] = {"heartbeat_s": 0.5}
+        scenario = dict(scenario, executor=executor)
     return hist_dump(Study(scenario, evaluate=evaluate).run())
 
 
@@ -167,13 +171,18 @@ class TestRunTwiceAndWorkerInvariance:
         space=space_sections(),
         search=st.sampled_from(SEARCH_VARIANTS),
         seed=st.integers(0, 10_000),
+        backend=st.sampled_from(["thread", "process", "socket"]),
     )
-    def test_histories_identical_across_reruns_and_worker_counts(self, space, search, seed):
+    def test_histories_identical_across_reruns_and_worker_counts(
+        self, space, search, seed, backend
+    ):
         scenario = scenario_dict(space, search, seed)
         reference = run_history(scenario)
         assert run_history(scenario) == reference  # run twice
         for n_workers in (2, 4):
-            assert run_history(scenario, n_workers=n_workers) == reference, n_workers
+            assert run_history(
+                scenario, n_workers=n_workers, backend=backend
+            ) == reference, (backend, n_workers)
 
     @pytest.mark.parametrize("search", SEARCH_VARIANTS, ids=lambda s: s["algorithm"] + "-" + str(s.get("acquisition", "")))
     def test_every_variant_is_worker_invariant_on_the_anchor_space(self, search):

@@ -209,35 +209,13 @@ class TestSeedLoopEquivalence:
 
 
 class TestAsyncExecutorEquivalence:
-    KW = dict(n_random_samples=10, max_iterations=4, pool_size=None, max_samples_per_iteration=6, seed=3)
+    """Engine-side guard only.
 
-    def test_async_workers_bit_identical_to_serial(self, toy_space, objectives):
-        serial = HyperMapper(toy_space, objectives, toy_evaluate, **self.KW).run()
-        for n_workers in (2, 4):
-            async_result = HyperMapper(
-                toy_space, objectives, toy_evaluate, n_workers=n_workers, **self.KW
-            ).run()
-            assert hist_dump(async_result) == hist_dump(serial)
-            assert reports_dump(async_result) == reports_dump(serial)
-
-    def test_overlap_full_fraction_equals_serial(self, toy_space, objectives):
-        serial = HyperMapper(toy_space, objectives, toy_evaluate, **self.KW).run()
-        overlap = HyperMapper(
-            toy_space, objectives, toy_evaluate, n_workers=3, overlap_fraction=1.0, **self.KW
-        ).run()
-        assert hist_dump(overlap) == hist_dump(serial)
-
-    def test_overlap_partial_is_deterministic(self, toy_space, objectives):
-        runs = [
-            HyperMapper(
-                toy_space, objectives, toy_evaluate, n_workers=3, overlap_fraction=0.5, **self.KW
-            ).run()
-            for _ in range(2)
-        ]
-        assert hist_dump(runs[0]) == hist_dump(runs[1])
-        # Every straggler eventually lands: sources/iterations are tagged with
-        # the iteration that proposed them.
-        assert all(r.source in ("random", "active_learning") for r in runs[0].history)
+    The async-vs-serial bit-identity, overlap determinism, and the rest of
+    the executor contract moved to the backend-parametrized suite in
+    ``executor_conformance.py`` (collected by ``test_executor_conformance.py``
+    for the thread, process, AND socket backends).
+    """
 
     def test_overlap_requires_supporting_strategy(self, toy_space, objectives):
         from repro.core.acquisition import AcquisitionStrategy
@@ -401,15 +379,6 @@ class TestBudgetAccounting:
         assert inner.n_evaluations == 13
         assert len(result.history) == 13
 
-    def test_budget_counts_cache_hits_as_free(self, toy_space, objectives):
-        executor = EvaluationExecutor(toy_evaluate, objectives, max_evaluations=3)
-        configs = toy_space.sample(3, rng=0)
-        executor.evaluate(configs)
-        # Re-evaluating cached configurations consumes no budget.
-        again = executor.evaluate(configs)
-        assert executor.n_evaluations == 3
-        assert again == executor.evaluate(configs)
-
     def test_baselines_survive_budget_exhaustion(self, toy_space, objectives):
         from repro.core.baselines import BanditSearch, EvolutionarySearch, LocalSearch
 
@@ -425,116 +394,11 @@ class TestBudgetAccounting:
             result = search_cls(toy_space, objectives, executor, seed=0).run(24)
             assert len(result.history) <= 9
 
-    def test_partial_prefix_semantics(self, toy_space, objectives):
-        executor = EvaluationExecutor(toy_evaluate, objectives, max_evaluations=2)
-        configs = toy_space.sample(4, rng=1)
-        futures, accepted = executor.submit(configs)
-        assert accepted == 2
-        assert [f.config for f in futures] == configs[:2]
-        assert executor.budget_remaining == 0
-
-    def test_evaluate_refuses_unaffordable_batch_atomically(self, toy_space, objectives):
-        from repro.core.evaluator import EvaluationBudgetExceeded
-
-        calls = []
-
-        def counting(config):
-            calls.append(config)
-            return toy_evaluate(config)
-
-        executor = EvaluationExecutor(counting, objectives, max_evaluations=3)
-        configs = toy_space.sample(5, rng=9)
-        with pytest.raises(EvaluationBudgetExceeded):
-            executor.evaluate(configs)
-        # The refusal is atomic: nothing ran, no budget was consumed, so the
-        # caller can still spend the remaining budget on a smaller batch.
-        assert calls == [] and executor.n_evaluations == 0
-        assert executor.evaluate(configs[:3]) == [toy_evaluate(c) for c in configs[:3]]
-        assert executor.n_evaluations == 3
-
-
 class TestExecutorMechanics:
-    def test_results_in_submission_order(self, toy_space, objectives):
-        import time
-
-        def slow_first(config):
-            # The first-submitted configuration finishes last.
-            if bool(config["fast"]):
-                time.sleep(0.05)
-            return toy_evaluate(config)
-
-        configs = sorted(toy_space.sample(6, rng=2), key=lambda c: not bool(c["fast"]))
-        with EvaluationExecutor(slow_first, objectives, n_workers=4) as executor:
-            futures, _ = executor.submit(configs)
-            results = executor.gather(futures)
-        assert results == [toy_evaluate(c) for c in configs]
-
-    def test_inflight_deduplication(self, toy_space, objectives):
-        import threading
-        import time
-
-        calls = []
-        lock = threading.Lock()
-
-        def counting(config):
-            with lock:
-                calls.append(config)
-            time.sleep(0.02)
-            return toy_evaluate(config)
-
-        config = toy_space.sample(1, rng=3)[0]
-        with EvaluationExecutor(counting, objectives, n_workers=2) as executor:
-            futures_a, _ = executor.submit([config])
-            futures_b, _ = executor.submit([config])  # duplicate while in flight
-            assert executor.n_evaluations == 1
-            ra = executor.gather(futures_a)
-            rb = executor.gather(futures_b)
-        assert ra == rb and len(calls) == 1
-
-    def test_batch_duplicates_single_evaluation(self, toy_space, objectives):
-        calls = []
-
-        def counting(config):
-            calls.append(config)
-            return toy_evaluate(config)
-
-        config = toy_space.sample(1, rng=4)[0]
-        executor = EvaluationExecutor(counting, objectives)
-        results = executor.evaluate([config, config, config])
-        assert len(calls) == 1
-        assert results[0] == results[1] == results[2]
-        assert executor.cache_size == 1 and executor.is_cached(config)
-
-    def test_process_backend_evaluates(self, toy_space, objectives):
-        # The submission must stay picklable: the executor (which holds the
-        # process pool) must never cross the pickle boundary itself.
-        configs = toy_space.sample(3, rng=7)
-        with EvaluationExecutor(toy_evaluate, objectives, n_workers=2, backend="process") as executor:
-            results = executor.evaluate(configs)
-        assert results == [toy_evaluate(c) for c in configs]
-
-    def test_uncached_batch_dedup_matches_across_worker_counts(self, toy_space, objectives):
-        config = toy_space.sample(1, rng=8)[0]
-        counts = {}
-        for n_workers in (1, 2):
-            calls = []
-
-            def counting(c):
-                calls.append(c)
-                return toy_evaluate(c)
-
-            with EvaluationExecutor(counting, objectives, n_workers=n_workers, cache=False) as ex:
-                ex.evaluate([config, config, config])
-                counts[n_workers] = (len(calls), ex.n_evaluations)
-        # Same-batch duplicates are free regardless of worker count, so
-        # budget consumption never depends on parallelism.
-        assert counts[1] == counts[2] == (1, 1)
-
-    def test_closed_executor_rejects_submissions(self, toy_space, objectives):
-        executor = EvaluationExecutor(toy_evaluate, objectives, n_workers=2)
-        executor.close()
-        with pytest.raises(RuntimeError):
-            executor.submit(toy_space.sample(1, rng=5))
+    """Executor mechanics (submission order, dedup, budgets, close) live in
+    the shared backend-parametrized suite now — see
+    ``executor_conformance.ExecutorContractSuite``.  Only the
+    :class:`ParallelEvaluator` pool lifecycle stays here."""
 
     def test_parallel_evaluator_persistent_pool(self, toy_space, objectives):
         evaluator = ParallelEvaluator(toy_evaluate, objectives, n_workers=2)

@@ -18,7 +18,6 @@ Acceptance criteria covered:
   resume path and treats degraded as terminal.
 """
 
-import functools
 import gc
 import json
 import math
@@ -31,6 +30,15 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+# The toy problem, scenario builder, and history dump are shared with the
+# backend-parametrized executor contract suite (executor_conformance.py).
+from executor_conformance import (
+    SPACE_SPECS,
+    hist_dump,
+    run_history,
+    scenario_dict,
+    toy_evaluate,
+)
 from repro.cli import main as cli_main
 from repro.core.evaluator import EvaluationBudgetExceeded, FunctionEvaluator
 from repro.core.executor import EvaluationExecutor
@@ -84,22 +92,8 @@ settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "determinism"))
 
 
 # ---------------------------------------------------------------------------
-# Shared toy problem
+# Shared toy problem (imported from executor_conformance)
 # ---------------------------------------------------------------------------
-
-SPACE_SPECS = [
-    {"type": "ordinal", "name": "a", "values": [1, 2, 4, 8], "default": 1},
-    {"type": "ordinal", "name": "b", "values": [0.1, 0.2, 0.4], "default": 0.1},
-    {"type": "boolean", "name": "fast", "default": False},
-]
-
-
-def toy_evaluate(config):
-    a, b, fast = float(config["a"]), float(config["b"]), bool(config["fast"])
-    return {
-        "err": 0.05 * a + 0.3 * b + (0.25 if fast else 0.0),
-        "cost": 1.0 / a + 0.5 * b + (0.0 if fast else 0.2),
-    }
 
 
 @pytest.fixture()
@@ -119,25 +113,6 @@ def objectives():
     return ObjectiveSet([Objective("err"), Objective("cost")])
 
 
-def scenario_dict(faults=None, seed=3, n_workers=None, **search_overrides):
-    search = {"algorithm": "random", "budget": 14}
-    search.update(search_overrides)
-    out = {
-        "schema_version": 1,
-        "name": "faults-toy",
-        "space": {"parameters": SPACE_SPECS},
-        "objectives": [{"name": "err"}, {"name": "cost"}],
-        "evaluator": {"type": "function"},
-        "search": search,
-        "seed": seed,
-    }
-    if faults is not None:
-        out["faults"] = faults
-    if n_workers is not None:
-        out["executor"] = {"n_workers": n_workers}
-    return out
-
-
 #: Chaos section that provably quarantines at least one configuration under
 #: seed 3 (asserted in TestDegradedPlumbing) while most faults retry away.
 CHAOS_FAULTS = {
@@ -145,20 +120,6 @@ CHAOS_FAULTS = {
     "backoff_base_s": 0.0,
     "inject": {"drop_rate": 0.3, "corrupt_rate": 0.2, "crash_rate": 0.1},
 }
-
-
-def hist_dump(result_or_history):
-    history = getattr(result_or_history, "history", result_or_history)
-    return [
-        (dict(r.config), r.metrics, r.source, r.iteration, r.attempts)
-        for r in history.records
-    ]
-
-
-def run_history(scenario, n_workers=1):
-    if n_workers != 1:
-        scenario = dict(scenario, executor={"n_workers": n_workers})
-    return hist_dump(Study(scenario, evaluate=toy_evaluate).run())
 
 
 # ---------------------------------------------------------------------------
@@ -401,28 +362,17 @@ class TestCallWithPolicy:
 
 
 # ---------------------------------------------------------------------------
-# Executor integration (satellite: wrapped failures carry config identity)
+# Executor integration
 # ---------------------------------------------------------------------------
+# The failure-wrapping, quarantine-through-executor, and real worker-death
+# recovery tests (process pool AND socket workers) are part of the shared
+# backend-parametrized contract suite in executor_conformance.py.  What stays
+# here: the pure wrap_failure helper, and white-box coverage of the socket
+# backend's worker-death resubmission bound (the black-box variant would need
+# a worker fleet that keeps dying on schedule).
 
 
-class TestExecutorFailureWrapping:
-    def poisoned(self, config):
-        if bool(config["fast"]) and float(config["a"]) >= 8:
-            raise RuntimeError("board caught fire")
-        return toy_evaluate(config)
-
-    @pytest.mark.parametrize("n_workers", [1, 2])
-    def test_gather_wraps_failures_with_config_identity(self, toy_space, objectives, n_workers):
-        poison = toy_space.default_configuration().replace(a=8, fast=True)
-        with EvaluationExecutor(self.poisoned, objectives, n_workers=n_workers) as executor:
-            # The serial path raises at submission, the pool path at gather.
-            with pytest.raises(EvaluatorError) as excinfo:
-                futures, _ = executor.submit([poison])
-                executor.gather(futures)
-        message = str(excinfo.value)
-        assert "RuntimeError" in message and "board caught fire" in message
-        assert config_identity(poison) in message
-
+class TestWrapFailureHelper:
     def test_wrap_failure_helper(self, toy_space):
         config = toy_space.default_configuration()
         wrapped = wrap_failure(config, ValueError("bad"))
@@ -430,93 +380,75 @@ class TestExecutorFailureWrapping:
         assert "ValueError: bad" in str(wrapped)
         assert wrapped.config is config
 
-    def test_policy_quarantine_through_executor(self, toy_space, objectives):
-        policy = FaultPolicy(max_retries=0, quarantine=True, penalty=1e9)
-        with EvaluationExecutor(
-            self.poisoned, objectives, n_workers=2, fault_policy=policy
-        ) as executor:
-            poison = toy_space.default_configuration().replace(a=8, fast=True)
-            clean = toy_space.default_configuration()
-            futures, _ = executor.submit([clean, poison])
-            results = executor.gather(futures)
-        assert results[0] == toy_evaluate(clean)
-        assert results[1] == {"err": 1e9, "cost": 1e9}
-        assert futures[0].attempts is None
-        assert attempts_quarantined(futures[1].attempts)
 
+class TestSocketWorkerDeathBound:
+    """White-box: the socket backend's bounded resubmission on worker death.
 
-# ---------------------------------------------------------------------------
-# Real worker death: process backend recovery
-# ---------------------------------------------------------------------------
+    Drives ``_recover_from_worker_death`` directly — each call simulates the
+    broker reporting the future's worker as dead — so the bound, the
+    quarantine handoff, and the cache-adoption shortcut are testable without
+    orchestrating a fleet of workers that die on cue.
+    """
 
+    def _executor(self, objectives, **kwargs):
+        return EvaluationExecutor(
+            toy_evaluate,
+            objectives,
+            n_workers=1,
+            backend="socket",
+            transport={"heartbeat_s": 0.5},
+            **kwargs,
+        )
 
-def _poison_process_evaluate(config):
-    if bool(config["fast"]) and float(config["a"]) >= 8:
-        os._exit(13)  # kill the worker, breaking the whole pool
-    return toy_evaluate(config)
-
-
-def _crash_once_process_evaluate(flag_dir, config):
-    marker = Path(flag_dir) / "died"
-    if bool(config["fast"]) and float(config["a"]) >= 8 and not marker.exists():
-        marker.write_text("x")
-        os._exit(13)
-    return toy_evaluate(config)
-
-
-class TestProcessPoolCrashRecovery:
-    def _configs(self, toy_space):
-        poison = toy_space.default_configuration().replace(a=8, fast=True)
-        others = [
-            c for c in toy_space.sample(8, rng=11)
-            if not (float(c["a"]) >= 8 and bool(c["fast"]))  # the poison predicate
-        ][:4]
-        return others + [poison]
-
-    def test_persistent_crash_is_quarantined_after_bounded_recoveries(
+    def test_unpolicied_deaths_exhaust_the_default_bound_to_worker_crash(
         self, toy_space, objectives
     ):
-        policy = FaultPolicy(max_retries=1, quarantine=True, penalty=1e9)
-        configs = self._configs(toy_space)
-        with EvaluationExecutor(
-            _poison_process_evaluate, objectives, n_workers=2,
-            backend="process", fault_policy=policy,
-        ) as executor:
-            # The poison config kills its worker every time it runs: two
-            # crashes (initial + one bounded recovery), then quarantine.
-            poison_futures, _ = executor.submit([configs[-1]])
-            assert executor.gather(poison_futures) == [{"err": 1e9, "cost": 1e9}]
-            # The executor survived — the respawned pool evaluates normally.
-            futures, _ = executor.submit(configs[:-1])
-            results = executor.gather(futures)
-        assert attempts_quarantined(poison_futures[0].attempts)
-        assert [a["kind"] for a in poison_futures[0].attempts] == [KIND_CRASH, KIND_CRASH]
-        assert results == [toy_evaluate(c) for c in configs[:-1]]
+        from repro.core.executor import DEFAULT_WORKER_DEATH_RESUBMITS
+        from repro.core.transport import WorkerDied
 
-    def test_transient_crash_recovers_to_success(self, toy_space, objectives, tmp_path):
-        policy = FaultPolicy(max_retries=2, quarantine=True)
-        fn = functools.partial(_crash_once_process_evaluate, str(tmp_path))
-        configs = self._configs(toy_space)
-        with EvaluationExecutor(
-            fn, objectives, n_workers=2, backend="process", fault_policy=policy
-        ) as executor:
-            futures, _ = executor.submit(configs)
-            results = executor.gather(futures)
-        # The pool broke exactly once; every in-flight victim was resubmitted
-        # on the respawned pool and completed with its true metrics.
-        assert results == [toy_evaluate(c) for c in configs]
-        assert any(a["kind"] == KIND_CRASH for a in futures[-1].attempts)
-        assert not any(attempts_quarantined(f.attempts) for f in futures)
-
-    def test_crash_without_policy_raises_worker_crash(self, toy_space, objectives):
-        with EvaluationExecutor(
-            _poison_process_evaluate, objectives, n_workers=2, backend="process"
-        ) as executor:
-            poison = toy_space.default_configuration().replace(a=8, fast=True)
-            futures, _ = executor.submit([poison])
-            with pytest.raises(WorkerCrash) as excinfo:
+        with self._executor(objectives) as executor:
+            futures, _ = executor.submit([toy_space.default_configuration()])
+            future = futures[0]
+            for _ in range(DEFAULT_WORKER_DEATH_RESUBMITS):
+                executor._recover_from_worker_death(future, WorkerDied("drill"))
+                assert future._error is None  # still being resubmitted
+            executor._recover_from_worker_death(future, WorkerDied("drill"))
+            assert isinstance(future._error, WorkerCrash)
+            assert config_identity(future.config) in str(future._error)
+            with pytest.raises(WorkerCrash):
                 executor.gather(futures)
-        assert config_identity(poison) in str(excinfo.value)
+
+    def test_policy_bound_quarantines_with_crash_attempt_metadata(
+        self, toy_space, objectives
+    ):
+        from repro.core.transport import WorkerDied
+
+        policy = FaultPolicy(max_retries=1, quarantine=True, penalty=1e9)
+        with self._executor(objectives, fault_policy=policy) as executor:
+            futures, _ = executor.submit([toy_space.default_configuration()])
+            future = futures[0]
+            executor._recover_from_worker_death(future, WorkerDied("drill"))
+            assert future._error is None and future.attempts is None  # resubmitted silently
+            executor._recover_from_worker_death(future, WorkerDied("drill"))
+            assert executor.gather(futures) == [{"err": 1e9, "cost": 1e9}]
+        assert attempts_quarantined(future.attempts)
+        assert future.attempts[-1]["kind"] == KIND_CRASH
+
+    def test_cached_result_is_adopted_instead_of_resubmitting(
+        self, toy_space, objectives
+    ):
+        from repro.core.transport import WorkerDied
+
+        config = toy_space.default_configuration()
+        with self._executor(objectives) as executor:
+            executor.evaluate([config])  # populates the memo cache
+            futures, _ = executor.submit([config])
+            future = futures[0]
+            executor._recover_from_worker_death(future, WorkerDied("drill"))
+            # Adopted from the cache: no crash charged, no resubmission.
+            assert future._crashes == 0
+            assert executor.gather(futures) == [toy_evaluate(config)]
+            assert future.attempts is None
 
 
 class TestNoLeakedPools:

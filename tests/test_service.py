@@ -29,11 +29,18 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from executor_conformance import toy_evaluate
+
 from repro.cli import main as cli_main
 from repro.client import ServiceClient, ServiceHTTPError
 from repro.core.registry import load_builtin_plugins, registry_snapshot
 from repro.core.scenario import ScenarioError
-from repro.core.scheduler import StudyScheduler, preempting_policy, submission_priority
+from repro.core.scheduler import (
+    StudyScheduler,
+    StudySubmission,
+    preempting_policy,
+    submission_priority,
+)
 from repro.core.server import start_server
 from repro.core.service import (
     JOURNAL_FILE,
@@ -56,17 +63,15 @@ settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "service"))
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 
+# toy_evaluate comes from the shared conformance module: same formula this
+# file used to define locally (it tolerates the absent "fast" parameter),
+# module-level so it pickles across process pools and socket workers.
 SPACE = {
     "parameters": [
         {"type": "ordinal", "name": "a", "values": [1, 2, 4, 8], "default": 1},
         {"type": "ordinal", "name": "b", "values": [0.1, 0.2, 0.4], "default": 0.1},
     ]
 }
-
-
-def toy_evaluate(config):
-    a, b = float(config["a"]), float(config["b"])
-    return {"err": 0.05 * a + 0.3 * b, "cost": 1.0 / a + 0.5 * b}
 
 
 def toy_scenario(seed, *, name="toy", iterations=3):
@@ -496,6 +501,73 @@ class TestServiceHTTP:
         health = client.wait_healthy()
         assert health["status"] == "ok"
         assert health["max_concurrent_studies"] == 2
+
+
+class TestSharedBrokerService:
+    """Socket-backend studies drain through one long-lived worker fleet.
+
+    The service/scheduler pass their shared :class:`EvaluationBroker` to
+    every study; the broker's lifecycle stays with the caller — shutting the
+    service down must leave the fleet connected for the next service.
+    """
+
+    def socket_scenario(self, seed):
+        return dict(
+            toy_scenario(seed),
+            executor={
+                "backend": "socket",
+                "n_workers": 2,
+                "transport": {"heartbeat_s": 0.5},
+            },
+        )
+
+    @pytest.fixture()
+    def broker(self):
+        from repro.core.transport import EvaluationBroker, spawn_local_workers
+
+        with EvaluationBroker(heartbeat_s=0.5) as broker:
+            spawn_local_workers(broker.address, 2)
+            yield broker
+
+    def test_service_studies_share_broker_and_stay_bit_identical(
+        self, tmp_path, broker
+    ):
+        with OptimizationService(
+            tmp_path / "state",
+            max_concurrent_studies=2,
+            evaluate=toy_evaluate,
+            journal_fsync=False,
+            broker=broker,
+        ) as svc:
+            ids = {seed: svc.submit(self.socket_scenario(seed)) for seed in (3, 4)}
+            for seed, sid in ids.items():
+                assert svc.wait(sid, timeout=120) == "complete"
+                assert service_history(svc, sid) == reference_history(seed)
+        # The service never owned the broker: the fleet outlives it.
+        assert not broker._closing
+        assert broker.n_workers_connected == 2
+
+    def test_scheduler_studies_share_broker_and_stay_bit_identical(
+        self, tmp_path, broker
+    ):
+        scheduler = StudyScheduler(max_concurrent_studies=2, broker=broker)
+        outcomes = scheduler.run(
+            [
+                StudySubmission(
+                    key=f"s{seed}",
+                    scenario=self.socket_scenario(seed),
+                    run_dir=tmp_path / f"s{seed}",
+                    evaluate=toy_evaluate,
+                )
+                for seed in (3, 5)
+            ]
+        )
+        assert [o.status for o in outcomes] == ["complete", "complete"]
+        for seed in (3, 5):
+            history = (tmp_path / f"s{seed}" / HISTORY_FILE).read_bytes()
+            assert history == reference_history(seed)
+        assert not broker._closing
+        assert broker.n_workers_connected == 2
 
 
 class TestServerKillDrill:
